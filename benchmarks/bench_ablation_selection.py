@@ -1,0 +1,25 @@
+"""Ablation bench: user-driven (measurement-based) selection vs the
+control plane's default hop-count ranking, under a transient congestion
+episode — quantifying the paper's core premise that the stored
+measurements are what make path control *useful*.
+"""
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.experiments import ablation_selection
+
+
+def test_selection_vs_default_ranking(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_selection.run(rounds=6, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The default strategy rides its pinned path into the congestion;
+    # the measurement-driven strategy routes around it.
+    assert result.disturbed_delivery_rate("default") < 0.05
+    assert result.disturbed_delivery_rate("upin") > 0.9
+    assert result.switches("default") == 0
+    assert result.switches("upin") >= 1
+
+    write_figure("ablation_selection.txt", result.format_text())

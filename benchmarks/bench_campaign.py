@@ -1,0 +1,65 @@
+"""Bench of the §6 study campaign: 5 destinations, sequential vs parallel.
+
+The paper gathered ~3000 samples over 5 destinations; this bench runs a
+scaled-down version of the same campaign and checks its bookkeeping.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.docdb.client import DocDBClient
+from repro.scion.snet import ScionHost
+from repro.scionlab.defaults import study_destination_ids
+from repro.suite.cli import seed_servers
+from repro.suite.collect import PathsCollector
+from repro.suite.config import STATS_COLLECTION, SuiteConfig
+from repro.suite.parallel import ParallelCampaign
+from repro.suite.runner import TestRunner
+from repro.topology.scionlab import MY_AS, scionlab_network_config
+
+
+def _study_env(iterations: int):
+    client = DocDBClient()
+    db = client["upin"]
+    seed_servers(db)
+    host = ScionHost.scionlab(seed=BENCH_SEED)
+    config = SuiteConfig(
+        iterations=iterations, destination_ids=study_destination_ids()
+    )
+    PathsCollector(host, db, config).collect()
+    return host, db, config
+
+
+def test_study_campaign_sequential(benchmark):
+    def run():
+        host, db, config = _study_env(iterations=1)
+        report = TestRunner(host, db, config).run()
+        return db, report
+
+    db, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    # 5 study destinations: Ireland 22 + N.Virginia 32 + Magdeburg 6 +
+    # Singapore 18 + KAIST 2 = 80 paths per iteration.
+    assert report.paths_tested == 80
+    assert report.stats_stored == 80
+    assert db[STATS_COLLECTION].count_documents() == 80
+    write_figure(
+        "campaign.txt",
+        f"study campaign: {report.stats_stored} samples, "
+        f"{report.sim_seconds:.0f} simulated seconds, "
+        f"{report.measurement_errors} errors",
+    )
+
+
+def test_study_campaign_parallel(benchmark):
+    def run():
+        host, db, config = _study_env(iterations=1)
+        campaign = ParallelCampaign(
+            host.topology, MY_AS, db, config,
+            base_config=scionlab_network_config(seed=BENCH_SEED),
+            seed=BENCH_SEED,
+        )
+        return campaign.run(iterations=1, max_workers=5)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.stats_stored == 80
+    assert report.measurement_errors == 0

@@ -1,0 +1,18 @@
+"""Bench + regeneration of Figure 4 (server reachability histogram)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.experiments import fig4
+
+
+def test_fig4_reachability(benchmark):
+    result = benchmark(lambda: fig4.run(seed=BENCH_SEED))
+    r = result.reachability
+
+    # Paper shape: 21 reachable, mean ~5.66 hops, ~70% within 6 hops.
+    assert r.reachable == 21
+    assert r.mean_path_length == pytest.approx(5.66, abs=0.25)
+    assert 0.6 <= r.fraction_within(6) <= 0.85
+
+    write_figure("fig4.txt", result.format_text())

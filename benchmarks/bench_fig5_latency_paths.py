@@ -1,0 +1,20 @@
+"""Bench + regeneration of Figure 5 (per-path latency to AWS Ireland)."""
+
+from benchmarks.conftest import write_figure
+from repro.experiments import fig5
+
+
+def test_fig5_latency_per_path(benchmark, ireland_world):
+    result = benchmark(lambda: fig5.run(world=ireland_world))
+
+    # Paper shape: 6- and 7-hop groups, three latency layers, the
+    # detour paths (Ohio / Singapore) forming the upper two layers.
+    assert {s.hop_count for s in result.series} == {6, 7}
+    layers = result.layers()
+    assert len(layers) == 3
+    means = result.layer_means()
+    assert means[0] < means[1] < means[2]
+    assert any(result.detour_of(s) == "via Ohio" for s in result.series)
+    assert any(result.detour_of(s) == "via Singapore" for s in result.series)
+
+    write_figure("fig5.txt", result.format_text())

@@ -1,0 +1,25 @@
+"""Bench + regeneration of Figure 6 (latency per ISD set / hop count)."""
+
+from benchmarks.conftest import write_figure
+from repro.experiments import fig6
+
+
+def test_fig6_isd_grouping(benchmark, ireland_world):
+    result = benchmark(lambda: fig6.run(world=ireland_world))
+
+    # Paper shape: several (ISD set, hop count) columns; the 7-hop
+    # column of the main ISD set is wide; removing long-distance paths
+    # compacts it to values comparable with 6 hops.
+    assert len(result.all_groups) >= 3
+    assert result.spread_shrinks
+    six = next(
+        g for g in result.filtered_groups
+        if g.isds == (16, 17, 19) and g.hop_count == 6
+    )
+    seven = next(
+        g for g in result.filtered_groups
+        if g.isds == (16, 17, 19) and g.hop_count == 7
+    )
+    assert seven.stats.mean < 1.5 * six.stats.mean
+
+    write_figure("fig6.txt", result.format_text())

@@ -1,0 +1,24 @@
+"""Bench + regeneration of Figure 7 (bandwidth @ 12 Mbps, Magdeburg)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_ITERATIONS, BENCH_SEED, write_figure
+from repro.experiments import fig7
+
+
+def test_fig7_bandwidth_12mbps(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7.run(iterations=BENCH_ITERATIONS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    s = result.summary
+
+    # Paper shape: downstream > upstream and MTU > 64 B at 12 Mbps,
+    # with MTU close to the target.
+    assert s.downstream_beats_upstream
+    assert s.mtu_beats_small
+    assert s.mean_down_mtu == pytest.approx(12.0, abs=1.5)
+    assert s.mean_up_small < s.mean_down_small
+
+    write_figure("fig7.txt", result.format_text())

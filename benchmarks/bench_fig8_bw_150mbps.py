@@ -1,0 +1,35 @@
+"""Bench + regeneration of Figure 8 (bandwidth @ 150 Mbps — the reversal)."""
+
+from benchmarks.conftest import BENCH_ITERATIONS, BENCH_SEED, write_figure
+from repro.experiments import fig7, fig8
+
+
+def test_fig8_bandwidth_150mbps(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8.run(iterations=BENCH_ITERATIONS, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    s = result.summary
+
+    # Paper shape: the 12 Mbps trend REVERSES — 64 B beats MTU in both
+    # directions, and everything sits far below the 150 Mbps target.
+    assert not s.mtu_beats_small
+    assert s.mean_down_small > s.mean_down_mtu
+    assert s.mean_up_small > s.mean_up_mtu
+    assert s.downstream_beats_upstream
+    assert max(s.mean_down_small, s.mean_down_mtu) < 30.0
+
+    write_figure("fig8.txt", result.format_text())
+
+
+def test_fig7_fig8_crossover(benchmark):
+    """The crossover itself: MTU wins at 12 Mbps, loses at 150 Mbps."""
+
+    def both():
+        r7 = fig7.run(iterations=2, seed=BENCH_SEED)
+        r8 = fig8.run(iterations=2, seed=BENCH_SEED)
+        return r7.summary, r8.summary
+
+    s7, s8 = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert s7.mtu_beats_small and not s8.mtu_beats_small

@@ -1,0 +1,20 @@
+"""Bench + regeneration of Figure 9 (packet loss per N. Virginia path)."""
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.experiments import fig9
+
+
+def test_fig9_loss_cluster(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9.run(iterations=3, seed=BENCH_SEED), rounds=1, iterations=1
+    )
+
+    # Paper shape: exactly the cluster 2_16-2_19, 2_22, 2_23 at 100 %
+    # loss (2_20/2_21 survive), majority of other paths near 0 %, and
+    # the failing cluster sharing a first-half node.
+    assert result.total_loss_paths == fig9.PAPER_FAILING_PATHS
+    healthy = [s for s in result.series if not s.always_total_loss]
+    assert sum(1 for s in healthy if s.mean_loss_pct < 5.0) >= 0.8 * len(healthy)
+    assert fig9.CONGESTED_AS in result.shared_nodes
+
+    write_figure("fig9.txt", result.format_text())

@@ -1,0 +1,22 @@
+"""Bench of the multi-user contention study (extension of §1)."""
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.experiments import multiuser
+
+
+def test_multiuser_contention(benchmark):
+    result = benchmark.pedantic(
+        lambda: multiuser.run(seed=BENCH_SEED), rounds=1, iterations=1
+    )
+
+    # Shape: per-user goodput collapses with user count, the aggregate
+    # saturates below the access capacity, and spreading beats selfish
+    # assignment on fairness under contention.
+    assert result.point(8, "selfish").mean_mbps < result.point(1, "selfish").mean_mbps
+    assert all(p.aggregate_mbps < 40.0 for p in result.points)
+    assert (
+        result.point(8, "spread").fairness
+        >= result.point(8, "selfish").fairness - 0.1
+    )
+
+    write_figure("multiuser.txt", result.format_text())

@@ -1,0 +1,21 @@
+"""Bench of the §1 trade-off analysis across the study destinations."""
+
+from benchmarks.conftest import BENCH_SEED, write_figure
+from repro.experiments import tradeoff
+
+
+def test_tradeoff_latency_vs_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        lambda: tradeoff.run(iterations=4, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Structural finding: the access link bottlenecks every path, so the
+    # bandwidth forfeited by latency-first selection is tiny everywhere,
+    # while bandwidth-first can pay large latency (detour paths).
+    for server_id in (1, 2, 3, 4, 5):
+        cost = result.bandwidth_cost_of_latency_first(server_id)
+        assert cost is not None and cost < 1.5
+
+    write_figure("tradeoff.txt", result.format_text())

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Benchmarks double as the figure-regeneration harness: each bench runs
+its experiment, asserts the paper's qualitative shape, writes the
+figure's text table under ``benchmarks/output/`` and reports timing via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: Iterations per figure campaign.  The paper gathered ~3000 samples;
+#: benches default to a lighter load so the whole harness stays fast.
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "20231112"))
+
+
+def write_figure(name: str, text: str) -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, name), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def ireland_world():
+    """One shared Ireland campaign for the Fig 5/6 benches."""
+    from repro.experiments.world import run_campaign
+
+    return run_campaign([1], iterations=BENCH_ITERATIONS, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def scionlab_host():
+    from repro.scion.snet import ScionHost
+
+    return ScionHost.scionlab(seed=BENCH_SEED)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Recreate the paper's §3.2 initialization: attach your own AS.
+
+Walks the SCIONLab coordinator workflow: create a user AS at an
+attachment point, receive an ASN + key pair + PKC signed by the ISD
+core, inspect the generated Vagrant file, and immediately use the new
+AS to look up and probe paths — plus verify the issued certificate
+against the ISD's trust root (TRC).
+
+Run:  python examples/attach_user_as.py
+"""
+
+from repro.scion.snet import ScionHost
+from repro.scionlab.coordinator import Coordinator
+from repro.scionlab.vm import render_vagrantfile
+from repro.topology.scionlab import ETHZ_AP, build_scionlab_world
+
+
+def main() -> None:
+    world = build_scionlab_world()
+    coordinator = Coordinator(world, seed=7)
+
+    print(f"== creating a user AS at {ETHZ_AP} (ETHZ-AP) ==")
+    topology, user = coordinator.create_user_as(
+        ETHZ_AP, name="tutorial-as", owner_email="student@example.edu"
+    )
+    print(f"assigned ASN:          {user.isd_as}")
+    print(f"attachment point:      {user.attachment_point}")
+    print(f"public-key fingerprint: {user.keypair.public.fingerprint()}")
+    print(f"certificate issuer:    {user.certificate.issuer}")
+
+    print("\n== verifying the PKC against the ISD 17 TRC ==")
+    store = coordinator.trust_store()
+    leaf_key = store.verify_certificate(user.certificate_chain, isd=17)
+    assert leaf_key == user.keypair.public
+    print("certificate chain verifies against the core AS trust root ✓")
+
+    print("\n== generated Vagrantfile (excerpt) ==")
+    vagrant = render_vagrantfile(user.vm_config)
+    print("\n".join(vagrant.splitlines()[:12]))
+    print("  ...")
+
+    print("\n== first paths from the fresh AS ==")
+    host = ScionHost(topology, user.isd_as)
+    for dst in ("16-ffaa:0:1002", "19-ffaa:0:1303"):
+        paths = host.paths(dst, max_paths=3)
+        print(f"to {dst}: {len(paths)} paths, best = {paths[0].hops_display()}")
+
+    print("\n== first ping ==")
+    stats = host.ping("19-ffaa:0:1303", "141.44.25.144", count=5)
+    print(
+        f"{stats.received}/{stats.sent} replies, "
+        f"avg {stats.avg_ms:.1f} ms, loss {stats.loss_pct:.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Continuous monitoring: the test-suite as a long-running service.
+
+Runs periodic measurement rounds on the simulation clock (the §4.1.2
+"continuous functioning" requirement), lets a congestion episode hit
+mid-run, then shows the operator-facing outcome: the time-series
+analysis pinpoints the loss window, retention pruning bounds the
+database, and a time-windowed selection query routes a user around the
+trouble using only fresh samples.
+
+Run:  python examples/continuous_monitoring.py
+"""
+
+from repro.analysis.timeseries import (
+    heavy_loss_windows,
+    loss_timeline,
+    temporal_concentration,
+)
+from repro.docdb.client import DocDBClient
+from repro.netsim.congestion import CongestionEpisode
+from repro.scion.snet import ScionHost
+from repro.selection.engine import PathSelector
+from repro.selection.request import Metric, UserRequest
+from repro.suite.cli import seed_servers
+from repro.suite.config import STATS_COLLECTION, SuiteConfig
+from repro.suite.scheduler import MonitoringScheduler
+from repro.suite.storage import prune_stats
+
+MAGDEBURG_ID = 3
+PERIOD_S = 300.0  # one monitoring round every 5 simulated minutes
+
+
+def main() -> None:
+    client = DocDBClient()
+    db = client["upin"]
+    seed_servers(db)
+    host = ScionHost.scionlab()
+    config = SuiteConfig(iterations=1, destination_ids=[MAGDEBURG_ID])
+
+    # The Magdeburg core gets congested during rounds 3-4.
+    host.network.add_episode(
+        CongestionEpisode.on_ases(
+            ["19-ffaa:0:1301"], 3 * PERIOD_S, 5 * PERIOD_S, loss=1.0
+        )
+    )
+
+    scheduler = MonitoringScheduler(
+        host, db, config, period_s=PERIOD_S, recollect_every=4
+    )
+    report = scheduler.run(rounds=8)
+
+    print("monitoring rounds:")
+    for r in report.rounds:
+        print(
+            f"  round {r.index}: start {r.started_at_s:7.1f}s "
+            f"dur {r.duration_s:5.1f}s stored {r.stats_stored} "
+            f"errors {r.errors} recollected={r.recollected}"
+        )
+    print(f"total samples: {report.stats_stored}")
+
+    # -- pinpoint the congestion period from the data -------------------------
+    timeline = loss_timeline(db, MAGDEBURG_ID)
+    windows = heavy_loss_windows(timeline)
+    concentration = temporal_concentration(timeline, windows)
+    print("\ndetected heavy-loss windows:")
+    for w in windows:
+        print(
+            f"  [{w.start_ms / 1000:7.1f}s .. {w.end_ms / 1000:7.1f}s] "
+            f"{w.samples} samples over {len(w.affected_paths)} paths"
+        )
+    print(f"temporal concentration of failures: {concentration:.0%} "
+          "(1.0 = a transient period, not broken paths)")
+
+    # -- a user asks for a path DURING the outage ------------------------------
+    selector = PathSelector(db, host.topology)
+    congested_round_stamp = int((3 * PERIOD_S + 1) * 1000)
+    request = UserRequest.make(MAGDEBURG_ID, Metric.LOSS)
+    fresh = selector.select(request, since_ms=congested_round_stamp)
+    print("\nselection using only samples from the congested period:")
+    if fresh.best is not None:
+        print(f"  -> {fresh.best.aggregate.path_id}: {fresh.best.explanation}")
+    else:
+        print("  -> no admissible path (every route crosses the outage)")
+
+    # -- retention: keep only the last 3 rounds ----------------------------------
+    cutoff_ms = int(report.rounds[-3].started_at_s * 1000)
+    before = db[STATS_COLLECTION].count_documents()
+    removed = prune_stats(db[STATS_COLLECTION], before_ms=cutoff_ms)
+    print(
+        f"\nretention: pruned {removed} of {before} samples "
+        f"({db[STATS_COLLECTION].count_documents()} kept)"
+    )
+
+
+if __name__ == "__main__":
+    main()

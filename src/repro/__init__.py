@@ -1,0 +1,66 @@
+"""Reproduction of *"Evaluation of SCION for User-driven Path Control:
+a Usability Study"* (Battipaglia, Boldrini, Koning, Grosso — SC-W 2023).
+
+The library rebuilds, offline and deterministically, the full stack the
+paper's study ran on SCIONLab:
+
+* a 35-AS SCIONLab world topology with the authors' user AS attached at
+  ETHZ-AP (:mod:`repro.topology`),
+* a seeded network substrate with geographic latency, cross-traffic,
+  capacity limits, overlay fragmentation and congestion episodes
+  (:mod:`repro.netsim`),
+* the SCION control plane — beaconing, segment combination, a per-host
+  daemon — and SCMP services (:mod:`repro.scion`),
+* the SCION applications the paper drives: showpaths, ping, traceroute
+  and the bwtester (:mod:`repro.apps`),
+* a MongoDB-equivalent document store with PKC-backed write access
+  control (:mod:`repro.docdb`, :mod:`repro.crypto`),
+* the paper's test-suite — path collection, the three-measurement
+  runner, batched statistics storage, fault tolerance
+  (:mod:`repro.suite`),
+* the user-driven path-selection engine with sovereignty exclusions
+  (:mod:`repro.selection`) inside the UPIN framework (:mod:`repro.upin`),
+* experiment drivers regenerating Figures 4-9 (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ScionHost
+
+    host = ScionHost.scionlab()
+    paths = host.paths("16-ffaa:0:1002", max_paths=5)
+    stats = host.ping("16-ffaa:0:1002", "172.31.43.7", count=10)
+    print(stats.avg_ms, "ms,", stats.loss_pct, "% loss")
+"""
+
+from repro.errors import ReproError
+from repro.topology import ISDAS, Topology, build_scionlab_world, MY_AS
+from repro.scion import Path, ScionHost
+from repro.netsim import NetworkConfig, NetworkSim, CongestionEpisode
+from repro.docdb import DocDBClient
+from repro.suite import SuiteConfig, TestRunner, PathsCollector
+from repro.selection import PathSelector, UserRequest, Metric
+from repro.upin import Frontend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ISDAS",
+    "Topology",
+    "build_scionlab_world",
+    "MY_AS",
+    "Path",
+    "ScionHost",
+    "NetworkConfig",
+    "NetworkSim",
+    "CongestionEpisode",
+    "DocDBClient",
+    "SuiteConfig",
+    "TestRunner",
+    "PathsCollector",
+    "PathSelector",
+    "UserRequest",
+    "Metric",
+    "Frontend",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis of measurement campaigns: the statistics behind Figures 4-9."""
+
+from repro.analysis.stats import WhiskerStats, whisker_stats
+from repro.analysis.reachability import ReachabilityResult, reachability
+from repro.analysis.latency import (
+    PathLatencySeries,
+    latency_by_path,
+    latency_by_isd_group,
+    IsdGroupSeries,
+)
+from repro.analysis.bandwidth import BandwidthSeries, bandwidth_by_path
+from repro.analysis.loss import LossDotSeries, loss_by_path
+from repro.analysis.report import format_table
+
+__all__ = [
+    "WhiskerStats",
+    "whisker_stats",
+    "ReachabilityResult",
+    "reachability",
+    "PathLatencySeries",
+    "latency_by_path",
+    "latency_by_isd_group",
+    "IsdGroupSeries",
+    "BandwidthSeries",
+    "bandwidth_by_path",
+    "LossDotSeries",
+    "loss_by_path",
+    "format_table",
+]

@@ -1,0 +1,124 @@
+"""Bandwidth analysis: per-path whiskers by direction and packet class.
+
+Figures 7 and 8 plot, per path to one destination, the distribution of
+achieved bandwidth — upstream (client->server) on the left, downstream
+on the right, one whisker pair per path: MTU-sized packets (yellow) vs
+64-byte packets (blue).  Fig 7 uses a 12 Mbps target; Fig 8 repeats at
+150 Mbps, where the 64 B/MTU ordering flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import WhiskerStats, whisker_stats
+from repro.docdb.database import Database
+from repro.suite.config import PATHS_COLLECTION, STATS_COLLECTION
+
+#: The four measured series per path: (direction, packet class) -> field.
+SERIES_FIELDS: Dict[Tuple[str, str], str] = {
+    ("up", "small"): "bw_up_small_mbps",
+    ("up", "mtu"): "bw_up_mtu_mbps",
+    ("down", "small"): "bw_down_small_mbps",
+    ("down", "mtu"): "bw_down_mtu_mbps",
+}
+
+
+@dataclass(frozen=True)
+class BandwidthSeries:
+    """All four whiskers of one path in Fig 7/8."""
+
+    path_id: str
+    path_index: int
+    hop_count: int
+    target_mbps: float
+    whiskers: Dict[Tuple[str, str], WhiskerStats]
+
+    def mean(self, direction: str, packet: str) -> Optional[float]:
+        w = self.whiskers.get((direction, packet))
+        return w.mean if w is not None else None
+
+
+def bandwidth_by_path(
+    db: Database,
+    server_id: int,
+    *,
+    target_mbps: Optional[float] = None,
+) -> List[BandwidthSeries]:
+    """Per-path bandwidth distributions for one destination.
+
+    ``target_mbps`` filters samples by the campaign's attempted rate so
+    12 Mbps and 150 Mbps campaigns stored in the same database separate
+    cleanly into Fig 7 and Fig 8.
+    """
+    out: List[BandwidthSeries] = []
+    for path_doc in db[PATHS_COLLECTION].find(
+        {"server_id": server_id}, sort=[("path_index", 1)]
+    ):
+        flt: Dict[str, object] = {"path_id": path_doc["_id"]}
+        if target_mbps is not None:
+            flt["target_mbps"] = {"$gte": target_mbps * 0.99, "$lte": target_mbps * 1.01}
+        docs = db[STATS_COLLECTION].find(flt)
+        if not docs:
+            continue
+        whiskers: Dict[Tuple[str, str], WhiskerStats] = {}
+        for key, field_name in SERIES_FIELDS.items():
+            samples = [d[field_name] for d in docs if d.get(field_name) is not None]
+            if samples:
+                whiskers[key] = whisker_stats(samples)
+        if not whiskers:
+            continue
+        out.append(
+            BandwidthSeries(
+                path_id=str(path_doc["_id"]),
+                path_index=int(path_doc["path_index"]),
+                hop_count=int(path_doc["hop_count"]),
+                target_mbps=float(docs[0].get("target_mbps", 0.0)),
+                whiskers=whiskers,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """Aggregate ordering checks across a destination's paths."""
+
+    n_paths: int
+    mean_up_small: float
+    mean_up_mtu: float
+    mean_down_small: float
+    mean_down_mtu: float
+
+    @property
+    def downstream_beats_upstream(self) -> bool:
+        """The Internet-asymmetry observation of Fig 7."""
+        return (
+            self.mean_down_small > self.mean_up_small
+            and self.mean_down_mtu > self.mean_up_mtu
+        )
+
+    @property
+    def mtu_beats_small(self) -> bool:
+        """True in the 12 Mbps regime (Fig 7), False at 150 Mbps (Fig 8)."""
+        return (
+            self.mean_up_mtu > self.mean_up_small
+            and self.mean_down_mtu > self.mean_down_small
+        )
+
+
+def summarize(series: List[BandwidthSeries]) -> BandwidthSummary:
+    """Average the per-path means into the figure-level ordering check."""
+
+    def avg(direction: str, packet: str) -> float:
+        vals = [m for s in series if (m := s.mean(direction, packet)) is not None]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    return BandwidthSummary(
+        n_paths=len(series),
+        mean_up_small=avg("up", "small"),
+        mean_up_mtu=avg("up", "mtu"),
+        mean_down_small=avg("down", "small"),
+        mean_down_mtu=avg("down", "mtu"),
+    )

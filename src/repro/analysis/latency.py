@@ -1,0 +1,128 @@
+"""Latency analyses: per-path whiskers (Fig 5) and ISD grouping (Fig 6).
+
+Fig 5 plots the distribution of average-latency samples per path to one
+destination, paths grouped by hop count (6-hop red, 7-hop purple), and
+reveals three latency layers caused by geographic detours.  Fig 6
+groups the same samples by (set of ISDs traversed, hop count), then
+repeats the exercise with long-distance paths removed to show distance
+— not hop count or ISDs — drives latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import WhiskerStats, cluster_means, whisker_stats
+from repro.docdb.database import Database
+from repro.suite.config import PATHS_COLLECTION, STATS_COLLECTION
+
+
+@dataclass(frozen=True)
+class PathLatencySeries:
+    """One box of Fig 5: a path's latency sample distribution."""
+
+    path_id: str
+    path_index: int
+    hop_count: int
+    ases: Tuple[str, ...]
+    stats: WhiskerStats
+
+    def transits_any(self, ases: Sequence[str]) -> bool:
+        wanted = set(ases)
+        return any(a in wanted for a in self.ases)
+
+
+def latency_by_path(db: Database, server_id: int) -> List[PathLatencySeries]:
+    """Per-path latency distributions for one destination (Fig 5)."""
+    out: List[PathLatencySeries] = []
+    for path_doc in db[PATHS_COLLECTION].find(
+        {"server_id": server_id}, sort=[("path_index", 1)]
+    ):
+        samples = [
+            d["avg_latency_ms"]
+            for d in db[STATS_COLLECTION].find({"path_id": path_doc["_id"]})
+            if d.get("avg_latency_ms") is not None
+        ]
+        if not samples:
+            continue
+        out.append(
+            PathLatencySeries(
+                path_id=str(path_doc["_id"]),
+                path_index=int(path_doc["path_index"]),
+                hop_count=int(path_doc["hop_count"]),
+                ases=tuple(path_doc["ases"]),
+                stats=whisker_stats(samples),
+            )
+        )
+    return out
+
+
+def latency_layers(series: Sequence[PathLatencySeries]) -> List[List[str]]:
+    """Group paths into latency layers (the Fig 5 'three layers').
+
+    Returns lists of path ids, ordered by layer mean.
+    """
+    means = {s.path_id: s.stats.mean for s in series}
+    clusters = cluster_means(list(means.values()))
+    layers: List[List[str]] = []
+    for cluster in clusters:
+        members = [
+            pid
+            for pid, mean in means.items()
+            if cluster[0] - 1e-9 <= mean <= cluster[-1] + 1e-9
+        ]
+        layers.append(sorted(members, key=lambda pid: means[pid]))
+    return layers
+
+
+@dataclass(frozen=True)
+class IsdGroupSeries:
+    """One column of Fig 6: samples grouped by (ISD set, hop count)."""
+
+    isds: Tuple[int, ...]
+    hop_count: int
+    path_ids: Tuple[str, ...]
+    stats: WhiskerStats
+
+
+def latency_by_isd_group(
+    db: Database,
+    server_id: int,
+    *,
+    exclude_transit_ases: Sequence[str] = (),
+) -> List[IsdGroupSeries]:
+    """Group latency samples by (ISD set, hop count) — Fig 6.
+
+    ``exclude_transit_ases`` implements the figure's right-hand panel:
+    dropping paths through the long-distance ASes (16-ffaa:0:1007,
+    16-ffaa:0:1004) before grouping.
+    """
+    groups: Dict[Tuple[Tuple[int, ...], int], Tuple[List[str], List[float]]] = {}
+    excluded = set(exclude_transit_ases)
+    for path_doc in db[PATHS_COLLECTION].find(
+        {"server_id": server_id}, sort=[("path_index", 1)]
+    ):
+        if excluded and any(a in excluded for a in path_doc["ases"]):
+            continue
+        key = (tuple(path_doc["isds"]), int(path_doc["hop_count"]))
+        path_ids, samples = groups.setdefault(key, ([], []))
+        path_ids.append(str(path_doc["_id"]))
+        samples.extend(
+            d["avg_latency_ms"]
+            for d in db[STATS_COLLECTION].find({"path_id": path_doc["_id"]})
+            if d.get("avg_latency_ms") is not None
+        )
+    out: List[IsdGroupSeries] = []
+    for (isds, hop_count), (path_ids, samples) in sorted(groups.items()):
+        if not samples:
+            continue
+        out.append(
+            IsdGroupSeries(
+                isds=isds,
+                hop_count=hop_count,
+                path_ids=tuple(path_ids),
+                stats=whisker_stats(samples),
+            )
+        )
+    return out

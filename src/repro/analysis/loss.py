@@ -1,0 +1,94 @@
+"""Packet-loss analysis (Fig 9).
+
+"Fig. 9 shows the average packet loss percentage for each path ... Each
+path is represented with a different colored dot.  The dot size stands
+for the number of measurements having the same packet loss ratio."  The
+series therefore maps each path to {loss ratio -> measurement count},
+which is exactly what a scatter-with-sized-dots plot needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.docdb.database import Database
+from repro.suite.config import PATHS_COLLECTION, STATS_COLLECTION
+
+
+@dataclass(frozen=True)
+class LossDotSeries:
+    """One path's loss-ratio dots."""
+
+    path_id: str
+    path_index: int
+    dots: Tuple[Tuple[float, int], ...]  # (loss %, #measurements)
+
+    @property
+    def mean_loss_pct(self) -> float:
+        total = sum(count for _, count in self.dots)
+        if total == 0:
+            return 0.0
+        return sum(loss * count for loss, count in self.dots) / total
+
+    @property
+    def always_total_loss(self) -> bool:
+        """True when every measurement registered 100 % loss."""
+        return bool(self.dots) and all(loss >= 100.0 for loss, _ in self.dots)
+
+
+def loss_by_path(db: Database, server_id: int) -> List[LossDotSeries]:
+    """Per-path loss dot data for one destination."""
+    out: List[LossDotSeries] = []
+    for path_doc in db[PATHS_COLLECTION].find(
+        {"server_id": server_id}, sort=[("path_index", 1)]
+    ):
+        counts: Counter = Counter()
+        for d in db[STATS_COLLECTION].find({"path_id": path_doc["_id"]}):
+            loss = d.get("loss_pct")
+            if loss is None:
+                continue
+            counts[round(float(loss), 1)] += 1
+        if not counts:
+            continue
+        out.append(
+            LossDotSeries(
+                path_id=str(path_doc["_id"]),
+                path_index=int(path_doc["path_index"]),
+                dots=tuple(sorted(counts.items())),
+            )
+        )
+    return out
+
+
+def total_loss_cluster(series: Sequence[LossDotSeries]) -> List[str]:
+    """Path ids that registered complete loss (the 2_16...2_23 cluster)."""
+    return [s.path_id for s in series if s.always_total_loss]
+
+
+def shared_ases(
+    db: Database, path_ids: Sequence[str]
+) -> List[str]:
+    """ASes common to all listed paths — the paper's root-cause probe.
+
+    "By looking at the sequence of hops for each of these paths, a
+    commonality emerges: the shared nodes are only those concentrated in
+    the first half of the path."
+    """
+    common: set = set()
+    first = True
+    for path_id in path_ids:
+        doc = db[PATHS_COLLECTION].find_one({"_id": path_id})
+        if doc is None:
+            continue
+        ases = set(doc["ases"])
+        common = ases if first else (common & ases)
+        first = False
+    ordering = {}
+    for path_id in path_ids:
+        doc = db[PATHS_COLLECTION].find_one({"_id": path_id})
+        if doc:
+            for i, a in enumerate(doc["ases"]):
+                ordering.setdefault(a, i)
+    return sorted(common, key=lambda a: ordering.get(a, 99))

@@ -1,0 +1,58 @@
+"""Server reachability analysis (Fig 4).
+
+"Fig. 4 depicts the number of destinations that require a minimum
+number of hops to be reached. ... the average path length is 5.66 hops
+and about 70% of paths can be reached within 6 hops."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.scion.snet import ScionHost
+from repro.topology.scionlab import AVAILABLE_SERVERS
+
+
+@dataclass(frozen=True)
+class ReachabilityResult:
+    """Min-hop distribution over the destination servers."""
+
+    min_hops_per_destination: Tuple[Tuple[int, str, int], ...]  # (id, isd_as, hops)
+    histogram: Dict[int, int]
+
+    @property
+    def reachable(self) -> int:
+        return len(self.min_hops_per_destination)
+
+    @property
+    def mean_path_length(self) -> float:
+        hops = [h for _, _, h in self.min_hops_per_destination]
+        return sum(hops) / len(hops) if hops else 0.0
+
+    def fraction_within(self, hop_budget: int) -> float:
+        hops = [h for _, _, h in self.min_hops_per_destination]
+        if not hops:
+            return 0.0
+        return sum(1 for h in hops if h <= hop_budget) / len(hops)
+
+    def rows(self) -> List[Tuple[int, int]]:
+        """(min hop count, #destinations) series — the Fig 4 bars."""
+        return sorted(self.histogram.items())
+
+
+def reachability(
+    host: ScionHost,
+    servers: Sequence[Tuple[str, str]] = AVAILABLE_SERVERS,
+) -> ReachabilityResult:
+    """Compute the minimum hop count from the host to every server."""
+    per_destination: List[Tuple[int, str, int]] = []
+    for server_id, (isd_as, _ip) in enumerate(servers, start=1):
+        paths = host.paths(isd_as, max_paths=1)
+        per_destination.append((server_id, isd_as, paths[0].hop_count))
+    histogram = Counter(h for _, _, h in per_destination)
+    return ReachabilityResult(
+        min_hops_per_destination=tuple(per_destination),
+        histogram=dict(histogram),
+    )

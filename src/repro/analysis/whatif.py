@@ -1,0 +1,151 @@
+"""What-if analysis: path diversity under exclusion policies.
+
+A UPIN operator promising "your traffic will avoid country X /
+operator Y" needs to know *in advance* which destinations that promise
+can be kept for, and how much path diversity survives.  This module
+answers that from topology alone (no measurements needed): for every
+destination server it counts the combinable paths, filters them through
+an exclusion set, and reports survivors and newly unreachable
+destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.scion.path import Path
+from repro.scion.snet import ScionHost
+from repro.topology.scionlab import AVAILABLE_SERVERS
+
+
+@dataclass(frozen=True)
+class ExclusionPolicy:
+    """The AS-level exclusions of a user request, topology-applicable."""
+
+    countries: FrozenSet[str] = frozenset()
+    operators: FrozenSet[str] = frozenset()
+    ases: FrozenSet[str] = frozenset()
+    isds: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        countries: Iterable[str] = (),
+        operators: Iterable[str] = (),
+        ases: Iterable[str] = (),
+        isds: Iterable[int] = (),
+    ) -> "ExclusionPolicy":
+        return cls(
+            countries=frozenset(c.upper() for c in countries),
+            operators=frozenset(operators),
+            ases=frozenset(str(a) for a in ases),
+            isds=frozenset(int(i) for i in isds),
+        )
+
+    def admits(self, host: ScionHost, path: Path) -> bool:
+        """True when no hop violates the policy."""
+        for ia in path.ases():
+            asys = host.topology.as_of(ia)
+            if asys.country.upper() in self.countries:
+                return False
+            if asys.operator in self.operators:
+                return False
+            if str(ia) in self.ases:
+                return False
+            if ia.isd in self.isds:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class DestinationDiversity:
+    server_id: int
+    isd_as: str
+    total_paths: int
+    admissible_paths: int
+
+    @property
+    def reachable(self) -> bool:
+        return self.admissible_paths > 0
+
+    @property
+    def survival_fraction(self) -> float:
+        return self.admissible_paths / self.total_paths if self.total_paths else 0.0
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    policy: ExclusionPolicy
+    destinations: Tuple[DestinationDiversity, ...]
+
+    @property
+    def unreachable(self) -> List[DestinationDiversity]:
+        return [d for d in self.destinations if not d.reachable]
+
+    @property
+    def reachable_count(self) -> int:
+        return sum(1 for d in self.destinations if d.reachable)
+
+    def diversity_of(self, server_id: int) -> Optional[DestinationDiversity]:
+        for d in self.destinations:
+            if d.server_id == server_id:
+                return d
+        return None
+
+    def format_text(self) -> str:
+        rows = [
+            (
+                d.server_id,
+                d.isd_as,
+                d.total_paths,
+                d.admissible_paths,
+                f"{100 * d.survival_fraction:.0f}%",
+                "yes" if d.reachable else "NO",
+            )
+            for d in self.destinations
+        ]
+        table = format_table(
+            ["dest", "isd_as", "paths", "admissible", "survive", "reachable"],
+            rows,
+            title="What-if — path diversity under the exclusion policy",
+        )
+        lost = ", ".join(d.isd_as for d in self.unreachable) or "none"
+        return (
+            f"{table}\n"
+            f"reachable destinations: {self.reachable_count}/"
+            f"{len(self.destinations)}\n"
+            f"destinations the policy makes unreachable: {lost}"
+        )
+
+
+def path_diversity(
+    host: ScionHost,
+    policy: ExclusionPolicy,
+    *,
+    servers: Sequence[Tuple[str, str]] = AVAILABLE_SERVERS,
+    hop_slack: int = 1,
+) -> WhatIfResult:
+    """Evaluate ``policy`` against every destination's path set.
+
+    Uses the same hop-count filter as the test-suite (min + ``hop_slack``)
+    so the counts line up with what the measurement campaign would see.
+    """
+    out: List[DestinationDiversity] = []
+    for server_id, (isd_as, _ip) in enumerate(servers, start=1):
+        paths = host.paths(isd_as, max_paths=None)
+        kept = [
+            p for p in paths if p.hop_count <= paths[0].hop_count + hop_slack
+        ]
+        admissible = sum(1 for p in kept if policy.admits(host, p))
+        out.append(
+            DestinationDiversity(
+                server_id=server_id,
+                isd_as=isd_as,
+                total_paths=len(kept),
+                admissible_paths=admissible,
+            )
+        )
+    return WhatIfResult(policy=policy, destinations=tuple(out))

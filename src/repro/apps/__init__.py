@@ -1,0 +1,42 @@
+"""Reimplementations of the SCION applications the paper relies on (§3.3).
+
+Each app mirrors the flag surface and the textual output of its
+SCIONLab counterpart closely enough that the paper's test-suite logic
+(parameter strings, ``--sequence`` hop predicates, output parsing) maps
+one-to-one:
+
+* ``scion address`` — :mod:`repro.apps.address`
+* ``scion showpaths --extended -m N`` — :mod:`repro.apps.showpaths`
+* ``scion ping --count --interval --sequence`` — :mod:`repro.apps.ping`
+* ``scion traceroute`` — :mod:`repro.apps.traceroute`
+* ``scion-bwtestclient -cs 3,64,?,12Mbps`` — :mod:`repro.apps.bwtester`
+"""
+
+from repro.apps.sequence import HopPredicate, Sequence
+from repro.apps.address import AddressApp
+from repro.apps.showpaths import ShowpathsApp, ShowpathsEntry, ShowpathsResult
+from repro.apps.ping import PingApp, PingReport
+from repro.apps.traceroute import TracerouteApp, TracerouteReport
+from repro.apps.bwtester import (
+    BwtestApp,
+    BwtestParams,
+    BwtestResult,
+    parse_bwtest_params,
+)
+
+__all__ = [
+    "HopPredicate",
+    "Sequence",
+    "AddressApp",
+    "ShowpathsApp",
+    "ShowpathsEntry",
+    "ShowpathsResult",
+    "PingApp",
+    "PingReport",
+    "TracerouteApp",
+    "TracerouteReport",
+    "BwtestApp",
+    "BwtestParams",
+    "BwtestResult",
+    "parse_bwtest_params",
+]

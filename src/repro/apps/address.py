@@ -1,0 +1,30 @@
+"""``scion address``: report the local host's SCION address (§3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scion.snet import ScionHost
+
+
+@dataclass(frozen=True)
+class AddressResult:
+    isd_as: str
+    ip: str
+
+    @property
+    def address(self) -> str:
+        return f"{self.isd_as},[{self.ip}]"
+
+    def format_text(self) -> str:
+        return self.address
+
+
+class AddressApp:
+    """Returns the relevant SCION address information for the local host."""
+
+    def __init__(self, host: ScionHost) -> None:
+        self.host = host
+
+    def run(self) -> AddressResult:
+        return AddressResult(isd_as=str(self.host.local_ia), ip=self.host.local_ip)

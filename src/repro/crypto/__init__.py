@@ -1,0 +1,35 @@
+"""Simulation-grade PKI for the SCION trust model.
+
+SCION assigns every AS a public/private key pair certified by its ISD's
+core AS (§3.1: "Each AS is assigned a globally unique AS number (ASN) and
+a public/private key pair. This key pair is certified through the
+issuance of a public key certificate (PKC)").  The paper's security
+design (§4.1.4, §4.2.2) then reuses those PKCs for database write access
+and statistics authentication.
+
+This package implements the machinery end to end — prime generation,
+textbook RSA signatures, certificates, and per-ISD trust-root
+configurations (TRCs).  **It is simulation-grade crypto**: key sizes are
+small for speed and RSA is unpadded-hash textbook RSA; it exercises the
+same verification code paths as a real deployment but must never be used
+to protect anything.
+"""
+
+from repro.crypto.primes import is_probable_prime, generate_prime
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, sign, verify
+from repro.crypto.certs import Certificate, issue_certificate, verify_chain
+from repro.crypto.trc import TRC, TrustStore
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "sign",
+    "verify",
+    "Certificate",
+    "issue_certificate",
+    "verify_chain",
+    "TRC",
+    "TrustStore",
+]

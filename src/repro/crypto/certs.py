@@ -1,0 +1,158 @@
+"""Public-key certificates (PKCs) and chain verification.
+
+Mirrors the SCION model at the granularity this reproduction needs: a
+certificate binds a *subject* name (an ISD-AS string) to a public key and
+is signed by an *issuer* (the ISD's core AS, whose own certificate is
+anchored in the TRC — see :mod:`repro.crypto.trc`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, sign, verify
+from repro.errors import CertificateError
+
+
+def _canonical_payload(data: Mapping) -> bytes:
+    """Deterministic byte encoding of the signed portion of a certificate."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of ``subject`` to ``public_key``.
+
+    ``not_before``/``not_after`` are logical validity bounds in integer
+    "epoch" units (the coordinator bumps the epoch when re-issuing); the
+    simulation does not tie them to wall time.
+    """
+
+    subject: str
+    issuer: str
+    public_key: RSAPublicKey
+    not_before: int = 0
+    not_after: int = 2**31
+    serial: int = 0
+    signature: int = field(default=0, compare=False)
+
+    def payload(self) -> bytes:
+        return _canonical_payload(
+            {
+                "subject": self.subject,
+                "issuer": self.issuer,
+                "public_key": self.public_key.to_dict(),
+                "not_before": self.not_before,
+                "not_after": self.not_after,
+                "serial": self.serial,
+            }
+        )
+
+    def is_valid_at(self, epoch: int) -> bool:
+        return self.not_before <= epoch <= self.not_after
+
+    def verify_with(self, issuer_key: RSAPublicKey) -> bool:
+        return verify(issuer_key, self.payload(), self.signature)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "public_key": self.public_key.to_dict(),
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "serial": self.serial,
+            "signature": hex(self.signature),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Certificate":
+        return cls(
+            subject=data["subject"],
+            issuer=data["issuer"],
+            public_key=RSAPublicKey.from_dict(data["public_key"]),
+            not_before=int(data["not_before"]),
+            not_after=int(data["not_after"]),
+            serial=int(data["serial"]),
+            signature=int(data["signature"], 16),
+        )
+
+
+def issue_certificate(
+    issuer_name: str,
+    issuer_keypair: RSAKeyPair,
+    subject: str,
+    subject_public_key: RSAPublicKey,
+    *,
+    not_before: int = 0,
+    not_after: int = 2**31,
+    serial: int = 0,
+) -> Certificate:
+    """Create a certificate for ``subject`` signed by ``issuer_keypair``."""
+    unsigned = Certificate(
+        subject=subject,
+        issuer=issuer_name,
+        public_key=subject_public_key,
+        not_before=not_before,
+        not_after=not_after,
+        serial=serial,
+    )
+    signature = sign(issuer_keypair, unsigned.payload())
+    return Certificate(
+        subject=subject,
+        issuer=issuer_name,
+        public_key=subject_public_key,
+        not_before=not_before,
+        not_after=not_after,
+        serial=serial,
+        signature=signature,
+    )
+
+
+def self_signed(
+    name: str, keypair: RSAKeyPair, *, serial: int = 0
+) -> Certificate:
+    """A root certificate: subject == issuer, signed by its own key."""
+    return issue_certificate(name, keypair, name, keypair.public, serial=serial)
+
+
+def verify_chain(
+    chain: List[Certificate],
+    trusted_roots: Mapping[str, RSAPublicKey],
+    *,
+    epoch: Optional[int] = None,
+) -> RSAPublicKey:
+    """Verify ``chain`` (leaf first) against ``trusted_roots``.
+
+    Returns the leaf public key on success.  The last certificate's issuer
+    must be present in ``trusted_roots``; every link must verify and, when
+    ``epoch`` is given, be within its validity window.
+    """
+    if not chain:
+        raise CertificateError("empty certificate chain")
+    for i, cert in enumerate(chain):
+        if epoch is not None and not cert.is_valid_at(epoch):
+            raise CertificateError(
+                f"certificate for {cert.subject!r} not valid at epoch {epoch}"
+            )
+        if i + 1 < len(chain):
+            issuer_key = chain[i + 1].public_key
+            if cert.issuer != chain[i + 1].subject:
+                raise CertificateError(
+                    f"chain break: {cert.subject!r} issued by {cert.issuer!r}, "
+                    f"next cert is for {chain[i + 1].subject!r}"
+                )
+        else:
+            root_key = trusted_roots.get(cert.issuer)
+            if root_key is None:
+                raise CertificateError(
+                    f"issuer {cert.issuer!r} is not a trusted root"
+                )
+            issuer_key = root_key
+        if not cert.verify_with(issuer_key):
+            raise CertificateError(
+                f"bad signature on certificate for {cert.subject!r}"
+            )
+    return chain[0].public_key

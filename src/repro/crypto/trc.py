@@ -1,0 +1,87 @@
+"""Trust Root Configurations (TRCs) and the per-host trust store.
+
+In SCION every isolation domain (ISD) publishes a TRC naming the core
+ASes that act as roots of trust for that ISD (§3.1: "A Core AS is the
+root of trust inside the [ISD], which is the entity that signs PKC of
+other ASes in the same ISD").  A host's :class:`TrustStore` holds the
+TRCs of all ISDs it knows and verifies AS certificate chains against
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.certs import Certificate, verify_chain
+from repro.crypto.rsa import RSAPublicKey
+from repro.errors import CertificateError
+
+
+@dataclass(frozen=True)
+class TRC:
+    """The trust anchors of one ISD: core-AS name -> core public key."""
+
+    isd: int
+    version: int
+    core_keys: Dict[str, RSAPublicKey] = field(default_factory=dict)
+
+    def core_ases(self) -> List[str]:
+        return sorted(self.core_keys)
+
+    def to_dict(self) -> dict:
+        return {
+            "isd": self.isd,
+            "version": self.version,
+            "core_keys": {name: key.to_dict() for name, key in self.core_keys.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TRC":
+        return cls(
+            isd=int(data["isd"]),
+            version=int(data["version"]),
+            core_keys={
+                name: RSAPublicKey.from_dict(kd)
+                for name, kd in data["core_keys"].items()
+            },
+        )
+
+
+class TrustStore:
+    """Holds TRCs for many ISDs and verifies certificates against them."""
+
+    def __init__(self, trcs: Iterable[TRC] = ()) -> None:
+        self._trcs: Dict[int, TRC] = {}
+        for trc in trcs:
+            self.add_trc(trc)
+
+    def add_trc(self, trc: TRC) -> None:
+        """Install a TRC; a newer version replaces an older one."""
+        current = self._trcs.get(trc.isd)
+        if current is None or trc.version >= current.version:
+            self._trcs[trc.isd] = trc
+
+    def trc_for(self, isd: int) -> TRC:
+        trc = self._trcs.get(isd)
+        if trc is None:
+            raise CertificateError(f"no TRC installed for ISD {isd}")
+        return trc
+
+    def isds(self) -> List[int]:
+        return sorted(self._trcs)
+
+    def trusted_roots(self, isd: Optional[int] = None) -> Dict[str, RSAPublicKey]:
+        """All trusted core keys, optionally restricted to one ISD."""
+        roots: Dict[str, RSAPublicKey] = {}
+        trcs = [self.trc_for(isd)] if isd is not None else self._trcs.values()
+        for trc in trcs:
+            roots.update(trc.core_keys)
+        return roots
+
+    def verify_certificate(
+        self, chain: List[Certificate], *, isd: Optional[int] = None,
+        epoch: Optional[int] = None,
+    ) -> RSAPublicKey:
+        """Verify a leaf-first certificate chain; returns the leaf key."""
+        return verify_chain(chain, self.trusted_roots(isd), epoch=epoch)

@@ -1,0 +1,44 @@
+"""An embedded MongoDB-equivalent document store.
+
+The paper stores all measurements in MongoDB (§4.2.1) — three
+collections (``availableServers``, ``paths``, ``paths_stats``), compound
+string ids, heterogeneous documents, and later queries for path
+selection.  This package provides the same surface offline:
+
+* Mongo-style filter documents (``$gt``, ``$in``, ``$regex``, ``$or``,
+  dotted paths, ...) and update operators (``$set``, ``$inc``,
+  ``$push``, ...),
+* single-field indexes with automatic query planning,
+* an aggregation-pipeline subset (``$match``, ``$group``, ``$sort``,
+  ``$unwind``, ...),
+* JSONL snapshot persistence plus an append-only operation journal,
+* certificate-based write access control and signed-document
+  verification (the paper's §4.1.4 security design).
+"""
+
+from repro.docdb.document import new_object_id, normalize_document
+from repro.docdb.query import matches
+from repro.docdb.update import apply_update
+from repro.docdb.collection import Collection, InsertManyResult, UpdateResult, DeleteResult
+from repro.docdb.database import Database
+from repro.docdb.client import DocDBClient
+from repro.docdb.storage import JsonlStore, OperationJournal
+from repro.docdb.auth import AccessController, Role, SignedDocumentVerifier
+
+__all__ = [
+    "new_object_id",
+    "normalize_document",
+    "matches",
+    "apply_update",
+    "Collection",
+    "InsertManyResult",
+    "UpdateResult",
+    "DeleteResult",
+    "Database",
+    "DocDBClient",
+    "JsonlStore",
+    "OperationJournal",
+    "AccessController",
+    "Role",
+    "SignedDocumentVerifier",
+]

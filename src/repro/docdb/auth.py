@@ -1,0 +1,186 @@
+"""Database access control and signed-statistics verification.
+
+Implements the security design of the paper's §4.1.4/§4.2.2:
+
+* **Database Access Management** — write access requires a token
+  obtained by proving possession of a private key whose certificate
+  chain anchors in a SCION TRC ("usage of public key certificates to
+  get write access to the DB").
+* **Statistics Authentication and Integrity** — measurement documents
+  carry an RSA signature over their canonical encoding; a collection
+  validator rejects unsigned or tampered documents ("produced
+  measurements should be authenticated with a PKC").
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import secrets
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.crypto.certs import Certificate
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, sign, verify
+from repro.crypto.trc import TrustStore
+from repro.errors import AuthError, CertificateError
+
+SIGNATURE_FIELD = "_sig"
+
+
+class Role(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    ADMIN = "admin"
+
+
+@dataclass
+class Token:
+    """A bearer token bound to an authenticated subject."""
+
+    value: str
+    subject: str
+    roles: Set[Role]
+    issued_epoch: int
+    expires_epoch: int
+
+    def valid_at(self, epoch: int) -> bool:
+        return self.issued_epoch <= epoch <= self.expires_epoch
+
+
+class AccessController:
+    """Certificate-based authentication and role-based authorization."""
+
+    def __init__(
+        self,
+        trust_store: TrustStore,
+        *,
+        token_lifetime_epochs: int = 1000,
+    ) -> None:
+        self.trust_store = trust_store
+        self.token_lifetime = token_lifetime_epochs
+        self._grants: Dict[str, Set[Role]] = {}
+        self._challenges: Dict[str, bytes] = {}
+        self._tokens: Dict[str, Token] = {}
+        self.epoch = 0
+
+    # -- grant management --------------------------------------------------------
+
+    def grant(self, subject: str, *roles: Role) -> None:
+        self._grants.setdefault(subject, set()).update(roles)
+
+    def revoke(self, subject: str) -> None:
+        self._grants.pop(subject, None)
+        for value, token in list(self._tokens.items()):
+            if token.subject == subject:
+                del self._tokens[value]
+
+    def roles_of(self, subject: str) -> Set[Role]:
+        return set(self._grants.get(subject, set()))
+
+    # -- challenge-response authentication ----------------------------------------
+
+    def challenge(self, subject: str) -> bytes:
+        """Issue a nonce the client must sign with its AS key."""
+        nonce = secrets.token_bytes(32)
+        self._challenges[subject] = nonce
+        return nonce
+
+    def authenticate(
+        self,
+        chain: List[Certificate],
+        signature: int,
+    ) -> Token:
+        """Verify chain + signed challenge; returns a bearer token."""
+        if not chain:
+            raise AuthError("empty certificate chain")
+        subject = chain[0].subject
+        nonce = self._challenges.pop(subject, None)
+        if nonce is None:
+            raise AuthError(f"no outstanding challenge for {subject!r}")
+        try:
+            leaf_key = self.trust_store.verify_certificate(chain, epoch=self.epoch)
+        except CertificateError as exc:
+            raise AuthError(f"certificate rejected: {exc}") from exc
+        if not verify(leaf_key, nonce, signature):
+            raise AuthError("challenge signature invalid")
+        roles = self.roles_of(subject)
+        if not roles:
+            raise AuthError(f"subject {subject!r} has no granted roles")
+        token = Token(
+            value=secrets.token_hex(16),
+            subject=subject,
+            roles=roles,
+            issued_epoch=self.epoch,
+            expires_epoch=self.epoch + self.token_lifetime,
+        )
+        self._tokens[token.value] = token
+        return token
+
+    # -- authorization ---------------------------------------------------------------
+
+    def authorize(self, token_value: str, role: Role) -> Token:
+        """Check a bearer token for ``role``; raises :class:`AuthError`."""
+        token = self._tokens.get(token_value)
+        if token is None:
+            raise AuthError("unknown token")
+        if not token.valid_at(self.epoch):
+            raise AuthError("token expired")
+        if role not in token.roles and Role.ADMIN not in token.roles:
+            raise AuthError(f"token lacks role {role.value!r}")
+        return token
+
+    def advance_epoch(self, steps: int = 1) -> None:
+        self.epoch += steps
+
+
+# ---------------------------------------------------------------------------
+# signed documents
+# ---------------------------------------------------------------------------
+
+
+def canonical_bytes(doc: Dict[str, Any]) -> bytes:
+    """Deterministic byte encoding of a document minus its signature."""
+    body = {k: v for k, v in doc.items() if k != SIGNATURE_FIELD}
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def sign_document(
+    doc: Dict[str, Any], subject: str, keypair: RSAKeyPair
+) -> Dict[str, Any]:
+    """Return a copy of ``doc`` carrying a ``_sig`` block."""
+    signed = dict(doc)
+    signed.pop(SIGNATURE_FIELD, None)
+    signature = sign(keypair, canonical_bytes(signed))
+    signed[SIGNATURE_FIELD] = {"subject": subject, "signature": hex(signature)}
+    return signed
+
+
+class SignedDocumentVerifier:
+    """Collection validator enforcing per-document signatures.
+
+    Install on a collection via ``coll.validator = verifier`` — every
+    insert/update then requires a valid ``_sig`` from a registered
+    writer key.
+    """
+
+    def __init__(self) -> None:
+        self._writer_keys: Dict[str, RSAPublicKey] = {}
+
+    def register_writer(self, subject: str, public_key: RSAPublicKey) -> None:
+        self._writer_keys[subject] = public_key
+
+    def __call__(self, doc: Dict[str, Any]) -> None:
+        sig_block = doc.get(SIGNATURE_FIELD)
+        if not isinstance(sig_block, dict):
+            raise AuthError("document is not signed")
+        subject = sig_block.get("subject")
+        key = self._writer_keys.get(str(subject))
+        if key is None:
+            raise AuthError(f"unknown writer {subject!r}")
+        try:
+            signature = int(str(sig_block.get("signature")), 16)
+        except ValueError:
+            raise AuthError("malformed signature") from None
+        if not verify(key, canonical_bytes(doc), signature):
+            raise AuthError("document signature invalid (tampering?)")

@@ -1,0 +1,57 @@
+"""Top-level client facade, shaped like ``pymongo.MongoClient``.
+
+The test-suite scripts of the paper talk to MongoDB through a client
+object; keeping the same shape (``client[db][collection]``) means the
+reproduction's suite code reads like the original scripts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.docdb.database import Database
+from repro.docdb.storage import JsonlStore
+
+
+class DocDBClient:
+    """An in-process document-database server handle."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, Database] = {}
+        self._lock = threading.RLock()
+
+    def database(self, name: str) -> Database:
+        with self._lock:
+            db = self._databases.get(name)
+            if db is None:
+                db = Database(name)
+                self._databases[name] = db
+            return db
+
+    __getitem__ = database
+
+    def list_database_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._databases)
+
+    def drop_database(self, name: str) -> None:
+        with self._lock:
+            self._databases.pop(name, None)
+
+    # -- persistence convenience ------------------------------------------------
+
+    def save_to(self, directory: str) -> None:
+        """Snapshot every database under ``directory`` (JSONL files)."""
+        store = JsonlStore(directory)
+        for name in self.list_database_names():
+            store.save_database(self.database(name))
+
+    @classmethod
+    def load_from(cls, directory: str) -> "DocDBClient":
+        """Restore a client from a snapshot directory."""
+        client = cls()
+        store = JsonlStore(directory)
+        for db_name in store.list_databases():
+            store.load_database(client.database(db_name))
+        return client

@@ -1,0 +1,374 @@
+"""Collections: the Mongo-like document container.
+
+Thread-safe (one RLock per collection — the campaign runner writes from
+a thread pool, §4.1.1), with single-field indexes, a small query
+planner, and an optional document validator hook used by the signed
+statistics pipeline (§4.1.4).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.docdb.document import get_path, normalize_document
+from repro.docdb.index import FieldIndex
+from repro.docdb.query import matches
+from repro.docdb.update import apply_update, is_update_document
+from repro.errors import DuplicateKeyError, QueryError
+
+SortSpec = Sequence[Tuple[str, int]]
+
+_RANGE_OPS = {"$gt", "$gte", "$lt", "$lte"}
+
+
+@dataclass(frozen=True)
+class InsertOneResult:
+    inserted_id: Any
+
+
+@dataclass(frozen=True)
+class InsertManyResult:
+    inserted_ids: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    matched_count: int
+    modified_count: int
+    upserted_id: Any = None
+
+
+@dataclass(frozen=True)
+class DeleteResult:
+    deleted_count: int
+
+
+class Collection:
+    """One named collection of documents."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._docs: Dict[Any, Dict[str, Any]] = {}
+        self._indexes: Dict[str, FieldIndex] = {}
+        self._lock = threading.RLock()
+        #: Optional hook run on every inserted/updated document; raise to
+        #: reject the write (used for signature verification).
+        self.validator: Optional[Callable[[Dict[str, Any]], None]] = None
+        #: Counters for the scalability benchmarks.
+        self.stats = {"inserts": 0, "scans": 0, "index_hits": 0}
+
+    # -- inserts ----------------------------------------------------------------
+
+    def insert_one(self, doc: Dict[str, Any]) -> InsertOneResult:
+        with self._lock:
+            stored = self._insert(doc)
+            return InsertOneResult(inserted_id=stored["_id"])
+
+    def insert_many(self, docs: Iterable[Dict[str, Any]]) -> InsertManyResult:
+        """Insert a batch atomically: either all documents land or none.
+
+        This is the operation the paper's §4.2.2 design leans on — the
+        runner buffers all statistics for one destination and inserts
+        them in a single call.
+        """
+        with self._lock:
+            prepared = [normalize_document(d) for d in docs]
+            ids = [d["_id"] for d in prepared]
+            if len(set(ids)) != len(ids):
+                raise DuplicateKeyError(f"duplicate _id inside batch for {self.name}")
+            for d in prepared:
+                if d["_id"] in self._docs:
+                    raise DuplicateKeyError(f"duplicate _id: {d['_id']!r}")
+                if self.validator is not None:
+                    self.validator(d)
+            for d in prepared:
+                self._commit_insert(d)
+            return InsertManyResult(inserted_ids=tuple(ids))
+
+    def _insert(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        stored = normalize_document(doc)
+        if stored["_id"] in self._docs:
+            raise DuplicateKeyError(f"duplicate _id: {stored['_id']!r}")
+        if self.validator is not None:
+            self.validator(stored)
+        self._commit_insert(stored)
+        return stored
+
+    def _commit_insert(self, stored: Dict[str, Any]) -> None:
+        self._docs[stored["_id"]] = stored
+        for index in self._indexes.values():
+            index.add(stored)
+        self.stats["inserts"] += 1
+
+    # -- queries ------------------------------------------------------------------
+
+    def find(
+        self,
+        flt: Optional[Dict[str, Any]] = None,
+        projection: Optional[Dict[str, int]] = None,
+        *,
+        sort: Optional[SortSpec] = None,
+        limit: int = 0,
+        skip: int = 0,
+    ) -> List[Dict[str, Any]]:
+        """Return matching documents (deep copies), optionally sorted."""
+        flt = flt or {}
+        with self._lock:
+            candidates = self._candidates(flt)
+            out = [copy.deepcopy(d) for d in candidates if matches(d, flt)]
+        if sort:
+            out = _sorted_docs(out, sort)
+        if skip:
+            out = out[skip:]
+        if limit:
+            out = out[:limit]
+        if projection:
+            out = [_project(d, projection) for d in out]
+        return out
+
+    def find_one(
+        self,
+        flt: Optional[Dict[str, Any]] = None,
+        projection: Optional[Dict[str, int]] = None,
+        *,
+        sort: Optional[SortSpec] = None,
+    ) -> Optional[Dict[str, Any]]:
+        results = self.find(flt, projection, sort=sort, limit=1)
+        return results[0] if results else None
+
+    def count_documents(self, flt: Optional[Dict[str, Any]] = None) -> int:
+        flt = flt or {}
+        with self._lock:
+            if not flt:
+                return len(self._docs)
+            return sum(1 for d in self._candidates(flt) if matches(d, flt))
+
+    def distinct(self, field_path: str, flt: Optional[Dict[str, Any]] = None) -> List[Any]:
+        seen: List[Any] = []
+        for doc in self.find(flt):
+            found, value = get_path(doc, field_path)
+            if not found:
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if v not in seen:
+                    seen.append(v)
+        return seen
+
+    # -- planner ---------------------------------------------------------------------
+
+    def _candidates(self, flt: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Use the best applicable index to narrow the scan set."""
+        if "_id" in flt and not isinstance(flt["_id"], dict):
+            doc = self._docs.get(flt["_id"])
+            self.stats["index_hits"] += 1
+            return [doc] if doc is not None else []
+        best: Optional[set] = None
+        for path, condition in flt.items():
+            index = self._indexes.get(path)
+            if index is None or path.startswith("$"):
+                continue
+            ids = self._ids_from_index(index, condition)
+            if ids is None:
+                continue
+            if best is None or len(ids) < len(best):
+                best = ids
+        if best is None:
+            self.stats["scans"] += 1
+            return list(self._docs.values())
+        self.stats["index_hits"] += 1
+        return [self._docs[i] for i in best if i in self._docs]
+
+    @staticmethod
+    def _ids_from_index(index: FieldIndex, condition: Any) -> Optional[set]:
+        if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+            if "$eq" in condition:
+                return index.ids_equal(condition["$eq"])
+            if "$in" in condition and isinstance(condition["$in"], (list, tuple)):
+                return index.ids_in(condition["$in"])
+            range_kw = {
+                op.lstrip("$"): operand
+                for op, operand in condition.items()
+                if op in _RANGE_OPS
+            }
+            if range_kw:
+                return index.ids_range(**range_kw)
+            return None
+        if isinstance(condition, dict):
+            return None
+        return index.ids_equal(condition)
+
+    # -- updates -------------------------------------------------------------------------
+
+    def update_one(
+        self,
+        flt: Dict[str, Any],
+        update: Dict[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._update(flt, update, multi=False, upsert=upsert)
+
+    def update_many(
+        self,
+        flt: Dict[str, Any],
+        update: Dict[str, Any],
+        *,
+        upsert: bool = False,
+    ) -> UpdateResult:
+        return self._update(flt, update, multi=True, upsert=upsert)
+
+    def replace_one(
+        self, flt: Dict[str, Any], replacement: Dict[str, Any], *, upsert: bool = False
+    ) -> UpdateResult:
+        if is_update_document(replacement):
+            raise QueryError("replacement document cannot contain operators")
+        return self._update(flt, replacement, multi=False, upsert=upsert)
+
+    def _update(
+        self,
+        flt: Dict[str, Any],
+        update: Dict[str, Any],
+        *,
+        multi: bool,
+        upsert: bool,
+    ) -> UpdateResult:
+        with self._lock:
+            matched = 0
+            modified = 0
+            for doc in [d for d in self._candidates(flt) if matches(d, flt)]:
+                matched += 1
+                new_doc = apply_update(doc, update)
+                if new_doc != doc:
+                    if self.validator is not None:
+                        self.validator(new_doc)
+                    self._replace_committed(doc, new_doc)
+                    modified += 1
+                if not multi:
+                    break
+            if matched == 0 and upsert:
+                seed = {
+                    k: v
+                    for k, v in flt.items()
+                    if not k.startswith("$") and not isinstance(v, dict)
+                }
+                new_doc = apply_update(seed, update) if is_update_document(update) else {
+                    **seed,
+                    **update,
+                }
+                stored = self._insert(new_doc)
+                return UpdateResult(0, 0, upserted_id=stored["_id"])
+            return UpdateResult(matched, modified)
+
+    def _replace_committed(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
+        for index in self._indexes.values():
+            index.remove(old)
+        self._docs[new["_id"]] = new
+        for index in self._indexes.values():
+            index.add(new)
+
+    # -- deletes -----------------------------------------------------------------------------
+
+    def delete_one(self, flt: Dict[str, Any]) -> DeleteResult:
+        return self._delete(flt, multi=False)
+
+    def delete_many(self, flt: Optional[Dict[str, Any]] = None) -> DeleteResult:
+        return self._delete(flt or {}, multi=True)
+
+    def _delete(self, flt: Dict[str, Any], *, multi: bool) -> DeleteResult:
+        with self._lock:
+            victims = [d for d in self._candidates(flt) if matches(d, flt)]
+            if not multi:
+                victims = victims[:1]
+            for doc in victims:
+                del self._docs[doc["_id"]]
+                for index in self._indexes.values():
+                    index.remove(doc)
+            return DeleteResult(deleted_count=len(victims))
+
+    # -- indexes --------------------------------------------------------------------------------
+
+    def create_index(self, field_path: str, *, unique: bool = False) -> str:
+        with self._lock:
+            if field_path not in self._indexes:
+                index = FieldIndex(field_path, unique=unique)
+                for doc in self._docs.values():
+                    index.add(doc)
+                self._indexes[field_path] = index
+            return field_path
+
+    def drop_index(self, field_path: str) -> None:
+        with self._lock:
+            self._indexes.pop(field_path, None)
+
+    def list_indexes(self) -> List[str]:
+        return sorted(self._indexes)
+
+    # -- aggregation --------------------------------------------------------------------------------
+
+    def aggregate(self, pipeline: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        from repro.docdb.aggregate import run_pipeline
+
+        return run_pipeline(self.find(), pipeline)
+
+    # -- misc -------------------------------------------------------------------------------------------
+
+    def all_documents(self) -> List[Dict[str, Any]]:
+        """Snapshot of every document (deep copies), in insertion order."""
+        with self._lock:
+            return [copy.deepcopy(d) for d in self._docs.values()]
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Collection({self.name!r}, n={len(self._docs)})"
+
+
+# -- helpers --------------------------------------------------------------------
+
+
+def _sorted_docs(docs: List[Dict[str, Any]], sort: SortSpec) -> List[Dict[str, Any]]:
+    out = docs
+    for field_path, direction in reversed(list(sort)):
+        if direction not in (1, -1):
+            raise QueryError(f"sort direction must be 1 or -1: {direction}")
+        out = sorted(
+            out,
+            key=lambda d: _sort_key(d, field_path),
+            reverse=direction == -1,
+        )
+    return out
+
+
+def _sort_key(doc: Dict[str, Any], path: str) -> Tuple:
+    found, value = get_path(doc, path)
+    if not found or value is None:
+        return (0, 0.0, "")
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (1, float(value), "")
+    if isinstance(value, str):
+        return (2, 0.0, value)
+    return (3, 0.0, repr(value))
+
+
+def _project(doc: Dict[str, Any], projection: Dict[str, int]) -> Dict[str, Any]:
+    include = {k for k, v in projection.items() if v}
+    exclude = {k for k, v in projection.items() if not v}
+    if include and exclude - {"_id"}:
+        raise QueryError("cannot mix inclusion and exclusion projections")
+    if include:
+        out: Dict[str, Any] = {}
+        for path in include:
+            found, value = get_path(doc, path)
+            if found:
+                out[path] = copy.deepcopy(value)
+        if "_id" not in exclude and "_id" in doc:
+            out["_id"] = doc["_id"]
+        return out
+    return {k: v for k, v in doc.items() if k not in exclude}

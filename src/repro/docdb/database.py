@@ -1,0 +1,44 @@
+"""Databases: named collections plus lifecycle operations."""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.docdb.collection import Collection
+from repro.errors import DocDBError
+
+
+class Database:
+    """A named set of collections, created lazily on first access."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+        self._lock = threading.RLock()
+
+    def collection(self, name: str) -> Collection:
+        if not name or name.startswith("$"):
+            raise DocDBError(f"invalid collection name: {name!r}")
+        with self._lock:
+            coll = self._collections.get(name)
+            if coll is None:
+                coll = Collection(name)
+                self._collections[name] = coll
+            return coll
+
+    __getitem__ = collection
+
+    def list_collection_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        with self._lock:
+            self._collections.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Database({self.name!r}, collections={self.list_collection_names()})"

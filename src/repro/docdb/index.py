@@ -1,0 +1,140 @@
+"""Single-field indexes with equality, membership and range support.
+
+An index maps a dotted field path to the set of document ids holding
+each value.  Range queries use a lazily (re)built sorted key list, which
+keeps inserts O(1) amortised while campaigns stream measurements in,
+and pays the sort only when a range scan actually happens — the access
+pattern of the paper's workflow (bulk writes, occasional selection
+queries).
+"""
+
+from __future__ import annotations
+
+import bisect
+from numbers import Number
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.docdb.document import iter_path_values
+
+_MISSING = object()
+
+
+def _index_key(value: Any) -> Any:
+    """Normalize a value into a hashable index key (None for missing)."""
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, Number):
+        return ("n", float(value))
+    if isinstance(value, str):
+        return ("s", value)
+    if value is None:
+        return ("z",)
+    # Arrays/objects are not range-indexable; hash their repr for equality.
+    return ("o", repr(value))
+
+
+class FieldIndex:
+    """Inverted index over one dotted field path."""
+
+    def __init__(self, field: str, *, unique: bool = False) -> None:
+        self.field = field
+        self.unique = unique
+        self._by_key: Dict[Any, Set[Any]] = {}
+        self._sorted_numbers: Optional[List[Tuple[float, Any]]] = None
+        self._sorted_strings: Optional[List[Tuple[str, Any]]] = None
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _keys_of(self, doc: Dict[str, Any]) -> List[Any]:
+        values = list(iter_path_values(doc, self.field))
+        keys: List[Any] = []
+        for v in values:
+            if isinstance(v, list):
+                keys.extend(_index_key(e) for e in v)
+            else:
+                keys.append(_index_key(v))
+        return keys or [("z",)]
+
+    def add(self, doc: Dict[str, Any]) -> None:
+        doc_id = doc["_id"]
+        for key in self._keys_of(doc):
+            self._by_key.setdefault(key, set()).add(doc_id)
+        self._invalidate_sorted()
+
+    def remove(self, doc: Dict[str, Any]) -> None:
+        doc_id = doc["_id"]
+        for key in self._keys_of(doc):
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._by_key[key]
+        self._invalidate_sorted()
+
+    def _invalidate_sorted(self) -> None:
+        self._sorted_numbers = None
+        self._sorted_strings = None
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._invalidate_sorted()
+
+    # -- lookups ---------------------------------------------------------------
+
+    def ids_equal(self, value: Any) -> Set[Any]:
+        return set(self._by_key.get(_index_key(value), ()))
+
+    def ids_in(self, values: Iterable[Any]) -> Set[Any]:
+        out: Set[Any] = set()
+        for v in values:
+            out |= self.ids_equal(v)
+        return out
+
+    def ids_range(
+        self,
+        *,
+        gt: Any = _MISSING,
+        gte: Any = _MISSING,
+        lt: Any = _MISSING,
+        lte: Any = _MISSING,
+    ) -> Set[Any]:
+        """Ids whose indexed value falls in the given (typed) range."""
+        bounds = [b for b in (gt, gte, lt, lte) if b is not _MISSING]
+        if not bounds:
+            return set().union(*self._by_key.values()) if self._by_key else set()
+        want_str = all(isinstance(b, str) for b in bounds)
+        entries = self._sorted(strings=want_str)
+        lo, hi = 0, len(entries)
+        keys = [e[0] for e in entries]
+        if gte is not _MISSING:
+            lo = bisect.bisect_left(keys, gte if want_str else float(gte))
+        if gt is not _MISSING:
+            lo = max(lo, bisect.bisect_right(keys, gt if want_str else float(gt)))
+        if lte is not _MISSING:
+            hi = bisect.bisect_right(keys, lte if want_str else float(lte))
+        if lt is not _MISSING:
+            hi = min(hi, bisect.bisect_left(keys, lt if want_str else float(lt)))
+        out: Set[Any] = set()
+        for _, ids in entries[lo:hi]:
+            out |= ids
+        return out
+
+    def _sorted(self, *, strings: bool) -> List[Tuple[Any, Set[Any]]]:
+        tag = "s" if strings else "n"
+        cached = self._sorted_strings if strings else self._sorted_numbers
+        if cached is None:
+            cached = sorted(
+                ((key[1], ids) for key, ids in self._by_key.items() if key[0] == tag),
+                key=lambda pair: pair[0],
+            )
+            if strings:
+                self._sorted_strings = cached
+            else:
+                self._sorted_numbers = cached
+        return cached
+
+    def distinct_keys(self) -> List[Any]:
+        return sorted(self._by_key, key=repr)
+
+    def __len__(self) -> int:
+        return len(self._by_key)

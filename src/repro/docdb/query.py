@@ -1,0 +1,209 @@
+"""Mongo-style filter matching.
+
+Supports the operator surface the test-suite and the path-selection
+engine query with, plus the usual logical combinators:
+
+==================  =========================================================
+operator            semantics
+==================  =========================================================
+(bare value)        equality (deep compare; arrays match on element too)
+``$eq`` ``$ne``     equality / negated equality
+``$gt(e)/$lt(e)``   ordered comparison (same-type operands only)
+``$in`` ``$nin``    membership
+``$exists``         field presence
+``$regex``          regular-expression match on strings
+``$mod``            ``[divisor, remainder]``
+``$size``           array length
+``$all``            array contains all listed values
+``$elemMatch``      some array element matches a sub-filter
+``$not``            negates an operator document
+``$and/$or/$nor``   logical combinators over sub-filters
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import re
+from numbers import Number
+from typing import Any, Dict, Iterable, List
+
+from repro.docdb.document import iter_path_values
+from repro.errors import QueryError
+
+_OPERATORS = frozenset(
+    {
+        "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$in", "$nin",
+        "$exists", "$regex", "$options", "$mod", "$size", "$all",
+        "$elemMatch", "$not",
+    }
+)
+_LOGICAL = frozenset({"$and", "$or", "$nor"})
+
+
+def matches(doc: Dict[str, Any], flt: Dict[str, Any]) -> bool:
+    """True if ``doc`` satisfies the filter document ``flt``."""
+    if not isinstance(flt, dict):
+        raise QueryError(f"filter must be a dict, got {type(flt).__name__}")
+    for key, condition in flt.items():
+        if key in _LOGICAL:
+            if not _logical(doc, key, condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator: {key}")
+        else:
+            if not _match_field(doc, key, condition):
+                return False
+    return True
+
+
+def _logical(doc: Dict[str, Any], op: str, clauses: Any) -> bool:
+    if not isinstance(clauses, (list, tuple)) or not clauses:
+        raise QueryError(f"{op} requires a non-empty list of filters")
+    results = (matches(doc, clause) for clause in clauses)
+    if op == "$and":
+        return all(results)
+    if op == "$or":
+        return any(results)
+    return not any(results)  # $nor
+
+
+def _is_operator_doc(condition: Any) -> bool:
+    return isinstance(condition, dict) and any(
+        k.startswith("$") for k in condition
+    )
+
+
+def _match_field(doc: Dict[str, Any], path: str, condition: Any) -> bool:
+    values = list(iter_path_values(doc, path))
+    exists = bool(values)
+
+    if _is_operator_doc(condition):
+        return _apply_operators(values, exists, condition)
+
+    # Mongo quirk: a bare ``None`` also matches documents missing the field.
+    if condition is None and not exists:
+        return True
+
+    # Bare-value equality: direct match, or array-element match.
+    return any(_values_equal(v, condition) for v in values) or any(
+        isinstance(v, list) and any(_values_equal(e, condition) for e in v)
+        for v in values
+    )
+
+
+def _apply_operators(values: List[Any], exists: bool, ops: Dict[str, Any]) -> bool:
+    for op, operand in ops.items():
+        if op == "$options":
+            continue  # consumed together with $regex
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown operator: {op}")
+        if op == "$exists":
+            if bool(operand) != exists:
+                return False
+            continue
+        if op == "$not":
+            if not isinstance(operand, dict):
+                raise QueryError("$not requires an operator document")
+            if _apply_operators(values, exists, operand):
+                return False
+            continue
+        flags = re.IGNORECASE if "i" in str(ops.get("$options", "")) else 0
+        fanned = list(_fanout(values, op))
+        if not fanned:
+            # Missing field: negative operators match vacuously (Mongo
+            # treats "missing" as unequal to / not-in everything).
+            if op in {"$ne", "$nin"}:
+                continue
+            if op == "$eq" and operand is None:
+                continue
+            return False
+        if not any(_single_op(v, op, operand, flags) for v in fanned):
+            return False
+    return True
+
+
+def _fanout(values: List[Any], op: str) -> Iterable[Any]:
+    """Array fan-out: comparison ops also try individual array elements."""
+    out = list(values)
+    if op not in {"$size", "$all", "$elemMatch"}:
+        for v in values:
+            if isinstance(v, list):
+                out.extend(v)
+    return out
+
+
+def _single_op(value: Any, op: str, operand: Any, flags: int) -> bool:
+    if op == "$eq":
+        return _values_equal(value, operand)
+    if op == "$ne":
+        return not _values_equal(value, operand)
+    if op in {"$gt", "$gte", "$lt", "$lte"}:
+        return _ordered(value, op, operand)
+    if op == "$in":
+        _require_list(op, operand)
+        return any(_values_equal(value, item) for item in operand)
+    if op == "$nin":
+        _require_list(op, operand)
+        return not any(_values_equal(value, item) for item in operand)
+    if op == "$regex":
+        return isinstance(value, str) and re.search(str(operand), value, flags) is not None
+    if op == "$mod":
+        _require_list(op, operand)
+        if len(operand) != 2:
+            raise QueryError("$mod requires [divisor, remainder]")
+        return _is_number(value) and value % operand[0] == operand[1]
+    if op == "$size":
+        return isinstance(value, list) and len(value) == operand
+    if op == "$all":
+        _require_list(op, operand)
+        return isinstance(value, list) and all(
+            any(_values_equal(e, want) for e in value) for want in operand
+        )
+    if op == "$elemMatch":
+        if not isinstance(operand, dict):
+            raise QueryError("$elemMatch requires a filter document")
+        return isinstance(value, list) and any(
+            isinstance(e, dict) and matches(e, operand) for e in value
+        )
+    raise QueryError(f"unhandled operator: {op}")  # pragma: no cover
+
+
+def _require_list(op: str, operand: Any) -> None:
+    if not isinstance(operand, (list, tuple)):
+        raise QueryError(f"{op} requires a list operand")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, Number) and not isinstance(value, bool)
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if _is_number(a) and _is_number(b):
+        return float(a) == float(b)
+    if type(a) is not type(b):
+        if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+            pass
+        else:
+            return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_values_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(_values_equal(a[k], b[k]) for k in a)
+    return bool(a == b)
+
+
+def _ordered(value: Any, op: str, operand: Any) -> bool:
+    """Typed comparison: numbers with numbers, strings with strings."""
+    if _is_number(value) and _is_number(operand):
+        a, b = float(value), float(operand)
+    elif isinstance(value, str) and isinstance(operand, str):
+        a, b = value, operand
+    else:
+        return False
+    if op == "$gt":
+        return a > b
+    if op == "$gte":
+        return a >= b
+    if op == "$lt":
+        return a < b
+    return a <= b

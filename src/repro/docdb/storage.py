@@ -1,0 +1,164 @@
+"""Persistence: JSONL snapshots and an append-only operation journal.
+
+Two durability mechanisms, matching the trade-off the paper discusses in
+§4.2.2 (batched inserts risk losing a destination's worth of samples on
+a crash):
+
+* :class:`JsonlStore` — full snapshots, one ``<db>.<collection>.jsonl``
+  file per collection.
+* :class:`OperationJournal` — a write-ahead log of individual operations
+  that can be replayed over a snapshot, bounding data loss to the
+  operations after the last ``fsync``-equivalent flush.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.docdb.database import Database
+from repro.errors import StorageError
+
+_SNAPSHOT_SUFFIX = ".jsonl"
+
+
+class JsonlStore:
+    """Snapshot persistence for whole databases."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, db_name: str, coll_name: str) -> str:
+        return os.path.join(self.directory, f"{db_name}.{coll_name}{_SNAPSHOT_SUFFIX}")
+
+    def save_database(self, db: Database) -> None:
+        for coll_name in db.list_collection_names():
+            coll = db.collection(coll_name)
+            tmp = self._path(db.name, coll_name) + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                header = {"__meta__": {"indexes": coll.list_indexes()}}
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                for doc in coll.all_documents():
+                    fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            os.replace(tmp, self._path(db.name, coll_name))
+
+    def list_databases(self) -> List[str]:
+        names = set()
+        for fname in os.listdir(self.directory):
+            if fname.endswith(_SNAPSHOT_SUFFIX):
+                names.add(fname.split(".", 1)[0])
+        return sorted(names)
+
+    def _collections_of(self, db_name: str) -> List[str]:
+        out = []
+        prefix = f"{db_name}."
+        for fname in os.listdir(self.directory):
+            if fname.startswith(prefix) and fname.endswith(_SNAPSHOT_SUFFIX):
+                out.append(fname[len(prefix): -len(_SNAPSHOT_SUFFIX)])
+        return sorted(out)
+
+    def load_database(self, db: Database) -> None:
+        for coll_name in self._collections_of(db.name):
+            coll = db.collection(coll_name)
+            path = self._path(db.name, coll_name)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    lines = fh.read().splitlines()
+            except OSError as exc:
+                raise StorageError(f"cannot read snapshot {path}: {exc}") from exc
+            if not lines:
+                continue
+            try:
+                header = json.loads(lines[0])
+            except json.JSONDecodeError as exc:
+                raise StorageError(f"corrupt snapshot header in {path}") from exc
+            docs = []
+            for i, line in enumerate(lines[1:], start=2):
+                if not line.strip():
+                    continue
+                try:
+                    docs.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise StorageError(
+                        f"corrupt snapshot line {i} in {path}"
+                    ) from exc
+            if docs:
+                coll.insert_many(docs)
+            for field_path in header.get("__meta__", {}).get("indexes", []):
+                coll.create_index(field_path)
+
+
+class OperationJournal:
+    """Append-only log of mutating operations with replay support."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+        self.appended = 0
+
+    def append(
+        self,
+        op: str,
+        db: str,
+        collection: str,
+        payload: Dict[str, Any],
+    ) -> None:
+        if op not in {"insert", "insert_many", "update", "delete"}:
+            raise StorageError(f"unknown journal op: {op}")
+        record = {"op": op, "db": db, "coll": collection, "payload": payload}
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.appended += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "OperationJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- replay ---------------------------------------------------------------
+
+    @staticmethod
+    def iter_records(path: str) -> Iterator[Dict[str, Any]]:
+        """Yield journal records, stopping cleanly at a torn final line."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        return  # torn write at crash point: ignore the tail
+        except FileNotFoundError:
+            return
+
+    @classmethod
+    def replay(cls, path: str, client: "Any") -> int:
+        """Re-apply journalled operations onto a client; returns count."""
+        count = 0
+        for record in cls.iter_records(path):
+            coll = client[record["db"]][record["coll"]]
+            payload = record["payload"]
+            if record["op"] == "insert":
+                coll.insert_one(payload["document"])
+            elif record["op"] == "insert_many":
+                coll.insert_many(payload["documents"])
+            elif record["op"] == "update":
+                coll.update_many(payload["filter"], payload["update"])
+            elif record["op"] == "delete":
+                coll.delete_many(payload["filter"])
+            count += 1
+        return count

@@ -1,0 +1,150 @@
+"""Mongo-style update documents.
+
+Supports ``$set``, ``$unset``, ``$inc``, ``$mul``, ``$min``, ``$max``,
+``$rename``, ``$push`` (with ``$each``), ``$addToSet``, ``$pull``,
+``$pop``, ``$currentDate`` (logical), and plain replacement documents.
+``apply_update`` mutates a *copy* and returns it, so collections can
+validate before committing.
+"""
+
+from __future__ import annotations
+
+import copy
+from numbers import Number
+from typing import Any, Callable, Dict
+
+from repro.docdb.document import get_path, set_path, unset_path
+from repro.docdb.query import matches, _values_equal  # reuse equality semantics
+from repro.errors import QueryError
+
+_FIELD_OPS = frozenset(
+    {
+        "$set", "$unset", "$inc", "$mul", "$min", "$max", "$rename",
+        "$push", "$addToSet", "$pull", "$pop", "$currentDate",
+    }
+)
+
+
+def is_update_document(update: Dict[str, Any]) -> bool:
+    """True when ``update`` uses operators (vs. a full replacement)."""
+    return isinstance(update, dict) and any(k.startswith("$") for k in update)
+
+
+def apply_update(
+    doc: Dict[str, Any], update: Dict[str, Any], *, now_ms: int = 0
+) -> Dict[str, Any]:
+    """Return a new document with ``update`` applied to ``doc``."""
+    if not isinstance(update, dict):
+        raise QueryError("update must be a dict")
+    out = copy.deepcopy(doc)
+
+    if not is_update_document(update):
+        # Replacement: keep the _id, swap everything else.
+        replacement = copy.deepcopy(update)
+        replacement["_id"] = doc.get("_id", replacement.get("_id"))
+        return replacement
+
+    for op, spec in update.items():
+        if op not in _FIELD_OPS:
+            raise QueryError(f"unknown update operator: {op}")
+        if not isinstance(spec, dict):
+            raise QueryError(f"{op} requires a field->value document")
+        for path, operand in spec.items():
+            if path == "_id" and op != "$currentDate":
+                raise QueryError("cannot modify _id")
+            _apply_field_op(out, op, path, operand, now_ms)
+    return out
+
+
+def _apply_field_op(
+    doc: Dict[str, Any], op: str, path: str, operand: Any, now_ms: int
+) -> None:
+    if op == "$set":
+        set_path(doc, path, copy.deepcopy(operand))
+        return
+    if op == "$unset":
+        unset_path(doc, path)
+        return
+    if op == "$rename":
+        if not isinstance(operand, str):
+            raise QueryError("$rename target must be a string path")
+        found, value = get_path(doc, path)
+        if found:
+            unset_path(doc, path)
+            set_path(doc, operand, value)
+        return
+    if op == "$currentDate":
+        set_path(doc, path, now_ms)
+        return
+
+    found, current = get_path(doc, path)
+
+    if op in {"$inc", "$mul"}:
+        _require_number(op, operand)
+        if not found or current is None:
+            base = 0 if op == "$inc" else 0
+            set_path(doc, path, base + operand if op == "$inc" else 0)
+            return
+        _require_number(op, current)
+        set_path(doc, path, current + operand if op == "$inc" else current * operand)
+        return
+
+    if op in {"$min", "$max"}:
+        if not found:
+            set_path(doc, path, copy.deepcopy(operand))
+            return
+        try:
+            replace = operand < current if op == "$min" else operand > current
+        except TypeError:
+            raise QueryError(f"{op}: incomparable types at {path!r}")
+        if replace:
+            set_path(doc, path, copy.deepcopy(operand))
+        return
+
+    if op == "$push":
+        values = operand["$each"] if isinstance(operand, dict) and "$each" in operand else [operand]
+        if not isinstance(values, list):
+            raise QueryError("$each requires a list")
+        arr = current if found and isinstance(current, list) else []
+        if found and not isinstance(current, list):
+            raise QueryError(f"$push target {path!r} is not an array")
+        set_path(doc, path, arr + [copy.deepcopy(v) for v in values])
+        return
+
+    if op == "$addToSet":
+        values = operand["$each"] if isinstance(operand, dict) and "$each" in operand else [operand]
+        arr = list(current) if found and isinstance(current, list) else []
+        if found and not isinstance(current, list):
+            raise QueryError(f"$addToSet target {path!r} is not an array")
+        for v in values:
+            if not any(_values_equal(e, v) for e in arr):
+                arr.append(copy.deepcopy(v))
+        set_path(doc, path, arr)
+        return
+
+    if op == "$pull":
+        if not found or not isinstance(current, list):
+            return
+        if isinstance(operand, dict) and any(k.startswith("$") for k in operand):
+            kept = [e for e in current if not matches({"x": e}, {"x": operand})]
+        elif isinstance(operand, dict):
+            kept = [e for e in current if not (isinstance(e, dict) and matches(e, operand))]
+        else:
+            kept = [e for e in current if not _values_equal(e, operand)]
+        set_path(doc, path, kept)
+        return
+
+    if op == "$pop":
+        if operand not in (1, -1):
+            raise QueryError("$pop requires 1 or -1")
+        if not found or not isinstance(current, list) or not current:
+            return
+        set_path(doc, path, current[1:] if operand == -1 else current[:-1])
+        return
+
+    raise QueryError(f"unhandled update operator: {op}")  # pragma: no cover
+
+
+def _require_number(op: str, value: Any) -> None:
+    if not isinstance(value, Number) or isinstance(value, bool):
+        raise QueryError(f"{op} requires numeric operands, got {value!r}")

@@ -1,0 +1,5 @@
+"""Experiment drivers regenerating every figure of the paper (Figs 4-9)."""
+
+from repro.experiments.world import build_world, run_campaign, CampaignWorld
+
+__all__ = ["build_world", "run_campaign", "CampaignWorld"]

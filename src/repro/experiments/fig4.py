@@ -1,0 +1,56 @@
+"""Figure 4: server reachability from MY_AS.
+
+Paper: 21 reachable destinations; "the average path length is 5.66 hops
+and about 70% of paths can be reached within 6 hops", highlighting the
+central position of the authors' AS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.reachability import ReachabilityResult, reachability
+from repro.analysis.report import format_table
+from repro.experiments.world import DEFAULT_SEED, build_world
+
+PAPER_MEAN_PATH_LENGTH = 5.66
+PAPER_FRACTION_WITHIN_6 = 0.70
+PAPER_REACHABLE = 21
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    reachability: ReachabilityResult
+
+    def rows(self) -> List[Tuple[int, int]]:
+        return self.reachability.rows()
+
+    def format_text(self) -> str:
+        table = format_table(
+            ["min hops", "destinations"],
+            self.rows(),
+            title="Fig 4 — Server reachability from MY_AS",
+        )
+        r = self.reachability
+        return (
+            f"{table}\n"
+            f"reachable destinations: {r.reachable} (paper: {PAPER_REACHABLE})\n"
+            f"mean path length: {r.mean_path_length:.2f} hops "
+            f"(paper: {PAPER_MEAN_PATH_LENGTH})\n"
+            f"within 6 hops: {100 * r.fraction_within(6):.0f}% "
+            f"(paper: ~{100 * PAPER_FRACTION_WITHIN_6:.0f}%)"
+        )
+
+
+def run(*, seed: int = DEFAULT_SEED) -> Fig4Result:
+    world = build_world(seed=seed)
+    return Fig4Result(reachability=reachability(world.host))
+
+
+def main() -> None:  # pragma: no cover - exercised via the bench harness
+    print(run().format_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,93 @@
+"""Figure 5: per-path latency whiskers to AWS Ireland.
+
+Paper: paths to 16-ffaa:0:1002,[172.31.43.7] split into 6-hop and 7-hop
+groups; latency values separate into three layers — Europe-only paths,
+paths detouring through Ohio (16-ffaa:0:1004) and paths detouring
+through Singapore (16-ffaa:0:1007) — showing geographic distance, not
+hop count, drives latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.latency import PathLatencySeries, latency_by_path, latency_layers
+from repro.analysis.report import format_table
+from repro.experiments.world import DEFAULT_SEED, CampaignWorld, run_campaign
+
+IRELAND_SERVER_ID = 1
+OHIO = "16-ffaa:0:1004"
+SINGAPORE = "16-ffaa:0:1007"
+DEFAULT_ITERATIONS = 30
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    series: Tuple[PathLatencySeries, ...]
+
+    def detour_of(self, s: PathLatencySeries) -> str:
+        if s.transits_any([OHIO]):
+            return "via Ohio"
+        if s.transits_any([SINGAPORE]):
+            return "via Singapore"
+        return "Europe"
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (
+                s.path_id,
+                s.hop_count,
+                s.stats.n,
+                s.stats.mean,
+                s.stats.median,
+                s.stats.whisker_low,
+                s.stats.whisker_high,
+                self.detour_of(s),
+            )
+            for s in self.series
+        ]
+
+    def layers(self) -> List[List[str]]:
+        return latency_layers(self.series)
+
+    def layer_means(self) -> List[float]:
+        by_id: Dict[str, float] = {s.path_id: s.stats.mean for s in self.series}
+        return [
+            sum(by_id[p] for p in layer) / len(layer) for layer in self.layers()
+        ]
+
+    def format_text(self) -> str:
+        table = format_table(
+            ["path", "hops", "n", "mean ms", "median", "whisk lo", "whisk hi", "route"],
+            self.rows(),
+            title="Fig 5 — Average latency per path to AWS Ireland (16-ffaa:0:1002)",
+        )
+        layers = self.layers()
+        means = self.layer_means()
+        layer_lines = [
+            f"layer {i + 1}: mean {mean:.1f} ms, paths {', '.join(layer)}"
+            for i, (layer, mean) in enumerate(zip(layers, means))
+        ]
+        return table + "\n" + "\n".join(layer_lines) + (
+            f"\nlatency layers: {len(layers)} (paper: 3 — Europe, via Ohio, via Singapore)"
+        )
+
+
+def run(
+    *, iterations: int = DEFAULT_ITERATIONS, seed: int = DEFAULT_SEED,
+    world: "CampaignWorld | None" = None,
+) -> Fig5Result:
+    """Measure the Ireland paths; pass ``world`` to reuse a campaign."""
+    if world is None:
+        world = run_campaign([IRELAND_SERVER_ID], iterations=iterations, seed=seed)
+    series = latency_by_path(world.db, IRELAND_SERVER_ID)
+    return Fig5Result(series=tuple(series))
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,105 @@
+"""Figure 6: Ireland latency grouped by (ISD set, hop count).
+
+Paper: grouping by traversed-ISD set and hop count shows hop count alone
+does not explain latency variance; excluding the long-distance paths
+(through 16-ffaa:0:1007 and 16-ffaa:0:1004) collapses the 7-hop group to
+values comparable with the 6-hop group and shrinks the box — physical
+distance is "the predominant component in the latency assessment".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.latency import IsdGroupSeries, latency_by_isd_group
+from repro.analysis.report import format_table
+from repro.experiments.fig5 import (
+    DEFAULT_ITERATIONS,
+    IRELAND_SERVER_ID,
+    OHIO,
+    SINGAPORE,
+)
+from repro.experiments.world import DEFAULT_SEED, CampaignWorld, run_campaign
+
+LONG_DISTANCE_ASES = (OHIO, SINGAPORE)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    all_groups: Tuple[IsdGroupSeries, ...]
+    filtered_groups: Tuple[IsdGroupSeries, ...]
+
+    @staticmethod
+    def _rows(groups: Tuple[IsdGroupSeries, ...]) -> List[Tuple]:
+        return [
+            (
+                "{" + ",".join(str(i) for i in g.isds) + "}",
+                g.hop_count,
+                len(g.path_ids),
+                g.stats.n,
+                g.stats.mean,
+                g.stats.spread,
+            )
+            for g in groups
+        ]
+
+    def spread_of(self, groups: Tuple[IsdGroupSeries, ...], hop_count: int) -> float:
+        """Widest whisker spread among groups of this hop count."""
+        spreads = [g.stats.spread for g in groups if g.hop_count == hop_count]
+        return max(spreads) if spreads else 0.0
+
+    @property
+    def spread_shrinks(self) -> bool:
+        """The figure's punchline: filtering long paths compacts the box."""
+        return self.spread_of(self.filtered_groups, 7) < self.spread_of(
+            self.all_groups, 7
+        )
+
+    def format_text(self) -> str:
+        left = format_table(
+            ["ISD set", "hops", "paths", "n", "mean ms", "spread ms"],
+            self._rows(self.all_groups),
+            title="Fig 6 (left) — latency per (ISD set, hop count), all paths",
+        )
+        right = format_table(
+            ["ISD set", "hops", "paths", "n", "mean ms", "spread ms"],
+            self._rows(self.filtered_groups),
+            title=(
+                "Fig 6 (right) — long-distance paths (via "
+                + ", ".join(LONG_DISTANCE_ASES)
+                + ") excluded"
+            ),
+        )
+        return (
+            left
+            + "\n\n"
+            + right
+            + f"\n7-hop spread shrinks after exclusion: {self.spread_shrinks} (paper: yes)"
+        )
+
+
+def run(
+    *, iterations: int = DEFAULT_ITERATIONS, seed: int = DEFAULT_SEED,
+    world: "CampaignWorld | None" = None,
+) -> Fig6Result:
+    if world is None:
+        world = run_campaign([IRELAND_SERVER_ID], iterations=iterations, seed=seed)
+    return Fig6Result(
+        all_groups=tuple(latency_by_isd_group(world.db, IRELAND_SERVER_ID)),
+        filtered_groups=tuple(
+            latency_by_isd_group(
+                world.db,
+                IRELAND_SERVER_ID,
+                exclude_transit_ases=LONG_DISTANCE_ASES,
+            )
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

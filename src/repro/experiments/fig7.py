@@ -1,0 +1,90 @@
+"""Figure 7: achieved bandwidth per path at a 12 Mbps target (Magdeburg).
+
+Paper: against 19-ffaa:0:1303,[141.44.25.144] — upstream achieves less
+than downstream ("in line with the internet's inherent asymmetry"), and
+64-byte packets achieve less than MTU-sized packets ("smaller packets
+increase the total packet count, amplifying the overhead of packet
+headers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.bandwidth import (
+    BandwidthSeries,
+    BandwidthSummary,
+    bandwidth_by_path,
+    summarize,
+)
+from repro.analysis.report import format_table
+from repro.experiments.world import DEFAULT_SEED, CampaignWorld, run_campaign
+
+GERMANY_SERVER_ID = 3
+DEFAULT_ITERATIONS = 30
+TARGET = "12Mbps"
+TARGET_MBPS = 12.0
+
+
+@dataclass(frozen=True)
+class FigBandwidthResult:
+    """Shared result shape for Fig 7 and Fig 8."""
+
+    title: str
+    target_mbps: float
+    series: Tuple[BandwidthSeries, ...]
+
+    @property
+    def summary(self) -> BandwidthSummary:
+        return summarize(list(self.series))
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (
+                s.path_id,
+                s.hop_count,
+                s.mean("up", "small"),
+                s.mean("up", "mtu"),
+                s.mean("down", "small"),
+                s.mean("down", "mtu"),
+            )
+            for s in self.series
+        ]
+
+    def format_text(self) -> str:
+        table = format_table(
+            ["path", "hops", "up 64B", "up MTU", "down 64B", "down MTU"],
+            self.rows(),
+            title=f"{self.title} (mean achieved Mbps, target {self.target_mbps:g} Mbps)",
+        )
+        s = self.summary
+        return (
+            f"{table}\n"
+            f"downstream > upstream: {s.downstream_beats_upstream}\n"
+            f"MTU > 64B: {s.mtu_beats_small}"
+        )
+
+
+def run(
+    *, iterations: int = DEFAULT_ITERATIONS, seed: int = DEFAULT_SEED,
+    world: "CampaignWorld | None" = None,
+) -> FigBandwidthResult:
+    if world is None:
+        world = run_campaign(
+            [GERMANY_SERVER_ID], iterations=iterations, bw_target=TARGET, seed=seed
+        )
+    series = bandwidth_by_path(world.db, GERMANY_SERVER_ID, target_mbps=TARGET_MBPS)
+    return FigBandwidthResult(
+        title="Fig 7 — bandwidth per path to Magdeburg AP (19-ffaa:0:1303)",
+        target_mbps=TARGET_MBPS,
+        series=tuple(series),
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,143 @@
+"""The §1 research question: what does latency-first selection cost?
+
+"For example, we analyze how the choice of a specific path that follows
+the lowest latency to a desired destination, as chosen by a user,
+affects the available bandwidth within a SCION network."  (§1)
+
+For each study destination this experiment compares three single-metric
+selections — latency-first, bandwidth-first, loss-first — and reports
+each winner's *other* metrics, quantifying the cross-metric penalty of
+optimising one dimension (e.g. the bandwidth a latency-chasing user
+leaves on the table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_table
+from repro.errors import NoPathError
+from repro.experiments.world import DEFAULT_SEED, CampaignWorld, run_campaign
+from repro.scionlab.defaults import study_destination_ids
+from repro.selection.engine import PathSelector
+from repro.selection.request import Metric, UserRequest
+
+DEFAULT_ITERATIONS = 8
+
+_POLICIES = (Metric.LATENCY, Metric.BANDWIDTH_DOWN, Metric.LOSS)
+
+
+@dataclass(frozen=True)
+class PolicyPick:
+    server_id: int
+    policy: str
+    path_id: str
+    avg_latency_ms: Optional[float]
+    avg_bw_down_mbps: Optional[float]
+    avg_loss_pct: float
+
+
+@dataclass(frozen=True)
+class TradeoffResult:
+    picks: Tuple[PolicyPick, ...]
+
+    def pick(self, server_id: int, policy: Metric) -> Optional[PolicyPick]:
+        for p in self.picks:
+            if p.server_id == server_id and p.policy == policy.value:
+                return p
+        return None
+
+    def bandwidth_cost_of_latency_first(self, server_id: int) -> Optional[float]:
+        """Mbps of downstream bandwidth given up by latency-first choice."""
+        lat = self.pick(server_id, Metric.LATENCY)
+        bw = self.pick(server_id, Metric.BANDWIDTH_DOWN)
+        if lat is None or bw is None:
+            return None
+        if lat.avg_bw_down_mbps is None or bw.avg_bw_down_mbps is None:
+            return None
+        return bw.avg_bw_down_mbps - lat.avg_bw_down_mbps
+
+    def latency_cost_of_bandwidth_first(self, server_id: int) -> Optional[float]:
+        """Extra ms of latency paid by bandwidth-first choice."""
+        lat = self.pick(server_id, Metric.LATENCY)
+        bw = self.pick(server_id, Metric.BANDWIDTH_DOWN)
+        if lat is None or bw is None:
+            return None
+        if lat.avg_latency_ms is None or bw.avg_latency_ms is None:
+            return None
+        return bw.avg_latency_ms - lat.avg_latency_ms
+
+    def rows(self) -> List[Tuple]:
+        return [
+            (
+                p.server_id,
+                p.policy,
+                p.path_id,
+                p.avg_latency_ms,
+                p.avg_bw_down_mbps,
+                p.avg_loss_pct,
+            )
+            for p in self.picks
+        ]
+
+    def format_text(self) -> str:
+        table = format_table(
+            ["dest", "policy", "path", "latency ms", "bw down Mbps", "loss %"],
+            self.rows(),
+            title="§1 trade-off — each policy's winner, with its other metrics",
+        )
+        lines = [table]
+        for server_id in sorted({p.server_id for p in self.picks}):
+            bw_cost = self.bandwidth_cost_of_latency_first(server_id)
+            lat_cost = self.latency_cost_of_bandwidth_first(server_id)
+            if bw_cost is not None and lat_cost is not None:
+                lines.append(
+                    f"destination {server_id}: latency-first forfeits "
+                    f"{bw_cost:.2f} Mbps downstream; bandwidth-first pays "
+                    f"+{lat_cost:.1f} ms latency"
+                )
+        return "\n".join(lines)
+
+
+def run(
+    *,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = DEFAULT_SEED,
+    destination_ids: Optional[List[int]] = None,
+    world: "CampaignWorld | None" = None,
+) -> TradeoffResult:
+    destinations = destination_ids or study_destination_ids()
+    if world is None:
+        world = run_campaign(destinations, iterations=iterations, seed=seed)
+    selector = PathSelector(world.db, world.host.topology)
+
+    picks: List[PolicyPick] = []
+    for server_id in destinations:
+        for metric in _POLICIES:
+            try:
+                result = selector.select(UserRequest.make(server_id, metric))
+            except NoPathError:
+                continue
+            if result.best is None:
+                continue
+            agg = result.best.aggregate
+            picks.append(
+                PolicyPick(
+                    server_id=server_id,
+                    policy=metric.value,
+                    path_id=agg.path_id,
+                    avg_latency_ms=agg.avg_latency_ms,
+                    avg_bw_down_mbps=agg.avg_bw_down_mbps,
+                    avg_loss_pct=agg.avg_loss_pct,
+                )
+            )
+    return TradeoffResult(picks=tuple(picks))
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,92 @@
+"""The canonical experiment world: build, collect, measure.
+
+Every figure driver starts here: the SCIONLab topology with MY_AS
+attached at ETHZ-AP, the seeded network simulator, a fresh document
+database with the 21 available servers, a path-collection pass, and a
+measurement campaign whose knobs (destinations, iterations, bandwidth
+target, congestion episodes) each figure sets for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.docdb.client import DocDBClient
+from repro.docdb.database import Database
+from repro.scion.snet import ScionHost
+from repro.suite.cli import seed_servers
+from repro.suite.collect import PathsCollector
+from repro.suite.config import SuiteConfig
+from repro.suite.runner import CampaignReport, TestRunner
+
+DEFAULT_SEED = 20231112
+
+
+@dataclass
+class CampaignWorld:
+    """A built world plus the campaign artifacts figures read."""
+
+    host: ScionHost
+    client: DocDBClient
+    db: Database
+    config: SuiteConfig
+    report: Optional[CampaignReport] = None
+
+    @property
+    def campaign_start_s(self) -> float:
+        return self._campaign_start_s
+
+    _campaign_start_s: float = field(default=0.0, repr=False)
+
+
+def build_world(*, seed: int = DEFAULT_SEED, config: Optional[SuiteConfig] = None) -> CampaignWorld:
+    """Build host + database and seed ``availableServers`` (no campaign)."""
+    host = ScionHost.scionlab(seed=seed)
+    client = DocDBClient()
+    config = config or SuiteConfig()
+    db = client[config.database]
+    seed_servers(db)
+    return CampaignWorld(host=host, client=client, db=db, config=config)
+
+
+def run_campaign(
+    destination_ids: Sequence[int],
+    *,
+    iterations: int,
+    bw_target: str = "12Mbps",
+    seed: int = DEFAULT_SEED,
+    prepare: Optional[Callable[[CampaignWorld], None]] = None,
+) -> CampaignWorld:
+    """Collect paths and run a measurement campaign.
+
+    ``prepare`` runs after path collection but before measurements —
+    the hook figures use to schedule congestion episodes (Fig 9) once
+    they know the stored path set and the campaign start time.
+    """
+    config = SuiteConfig(
+        iterations=iterations,
+        destination_ids=list(destination_ids),
+        bw_target=bw_target,
+    )
+    world = build_world(seed=seed, config=config)
+    PathsCollector(world.host, world.db, config).collect()
+    world._campaign_start_s = world.host.clock.now_s
+    if prepare is not None:
+        prepare(world)
+    runner = TestRunner(world.host, world.db, config)
+    world.report = runner.run()
+    return world
+
+
+def seconds_per_path(config: SuiteConfig) -> float:
+    """Simulated seconds one path's three measurements occupy.
+
+    ping: count * interval; two bandwidth tests: 2 directions each of
+    ``bw_duration_s``.  Fig 9 uses this to position congestion episodes
+    over specific measurement slots.
+    """
+    from repro.util.units import parse_duration
+
+    ping_s = config.ping_count * parse_duration(config.ping_interval).seconds
+    return ping_s + 4.0 * config.bw_duration_s

@@ -1,0 +1,42 @@
+"""The simulation clock.
+
+A single :class:`SimClock` instance is shared by the network simulator,
+the measurement applications and the test-suite so that measurement
+timestamps, utilization processes and congestion episodes all live on
+one time axis.  Time is a float in seconds from simulation start.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now
+
+    @property
+    def now_ms(self) -> int:
+        return int(self._now * 1000.0)
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s`` seconds; returns the new time."""
+        if dt_s < 0:
+            raise ValidationError(f"cannot move time backwards (dt={dt_s})")
+        self._now += dt_s
+        return self._now
+
+    def advance_to(self, t_s: float) -> float:
+        """Move time forward to the absolute instant ``t_s`` (no-op if past)."""
+        if t_s > self._now:
+            self._now = t_s
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.6f}s)"

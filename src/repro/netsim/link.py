@@ -1,0 +1,171 @@
+"""Per-link dynamic state: delay, jitter, queueing, loss, capacity shares.
+
+A :class:`LinkState` is the simulator's live counterpart of a static
+:class:`repro.topology.entities.LinkSpec`.  Direction matters: each
+direction has its own capacity, its own cross-traffic process, and its
+own pps budget (taken from the sending AS's router limits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.netsim.config import NetworkConfig
+from repro.netsim.congestion import EpisodeSchedule
+from repro.netsim.procs import UtilizationProcess
+from repro.topology.entities import AutonomousSystem, LinkSpec
+from repro.topology.isd_as import ISDAS
+from repro.util.geo import propagation_delay_ms
+from repro.util.rng import RngStreams
+
+
+class LinkDirection(enum.Enum):
+    """Traffic direction relative to the LinkSpec's (a, b) endpoints."""
+
+    A_TO_B = "ab"
+    B_TO_A = "ba"
+
+
+@dataclass(frozen=True)
+class TransitSample:
+    """Outcome of pushing one packet across one link."""
+
+    delay_ms: float
+    dropped: bool
+
+
+class LinkState:
+    """Dynamic behaviour of one inter-AS link."""
+
+    def __init__(
+        self,
+        spec: LinkSpec,
+        a_sys: AutonomousSystem,
+        b_sys: AutonomousSystem,
+        config: NetworkConfig,
+        streams: RngStreams,
+        episodes: EpisodeSchedule,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.episodes = episodes
+        self._a = a_sys
+        self._b = b_sys
+        self.propagation_ms = propagation_delay_ms(
+            a_sys.location, b_sys.location, circuity=config.circuity
+        )
+        util_params = config.utilization_for(spec.kind.value)
+        key = f"link:{spec.a}#{spec.a_ifid}>{spec.b}#{spec.b_ifid}"
+        self._util = {
+            LinkDirection.A_TO_B: UtilizationProcess(
+                util_params, streams.get(f"{key}:util:ab")
+            ),
+            LinkDirection.B_TO_A: UtilizationProcess(
+                util_params, streams.get(f"{key}:util:ba")
+            ),
+        }
+        self._noise = streams.get(f"{key}:noise")
+
+    # -- direction helpers -----------------------------------------------------
+
+    def direction_from(self, sender: ISDAS) -> LinkDirection:
+        return (
+            LinkDirection.A_TO_B if sender == self.spec.a else LinkDirection.B_TO_A
+        )
+
+    def _sender_sys(self, direction: LinkDirection) -> AutonomousSystem:
+        return self._a if direction is LinkDirection.A_TO_B else self._b
+
+    def _receiver_sys(self, direction: LinkDirection) -> AutonomousSystem:
+        return self._b if direction is LinkDirection.A_TO_B else self._a
+
+    def capacity_bps(self, direction: LinkDirection) -> float:
+        mbps = (
+            self.spec.capacity_ab_mbps
+            if direction is LinkDirection.A_TO_B
+            else self.spec.capacity_ba_mbps
+        )
+        return mbps * 1e6
+
+    def utilization(self, direction: LinkDirection, t_s: float) -> float:
+        return self._util[direction].value_at(t_s)
+
+    def mean_utilization(
+        self, direction: LinkDirection, t0_s: float, t1_s: float
+    ) -> float:
+        return self._util[direction].mean_over(t0_s, t1_s)
+
+    # -- per-packet transit -------------------------------------------------------
+
+    def transit_packet(
+        self, direction: LinkDirection, wire_bytes: int, n_fragments: int, t_s: float
+    ) -> TransitSample:
+        """Sample delay and drop for one packet crossing this link.
+
+        Delay = propagation + serialization + utilization-driven queueing
+        + per-transit jitter (the receiving AS's router adds the jitter —
+        this is where §6.1's jittery ASes enter).
+        """
+        cap = self.capacity_bps(direction)
+        rho = self.utilization(direction, t_s)
+        extra_loss, cap_factor = self.episodes.disturbance(self.spec, t_s)
+
+        serialization_ms = wire_bytes * 8.0 / cap * 1e3
+        queue_ms = self.config.queue_scale_ms * rho / max(1e-6, 1.0 - rho)
+        jitter_scale = self.config.jitter_for(self._receiver_sys(direction).isd_as)
+        jitter_ms = float(abs(self._noise.normal(0.0, jitter_scale)))
+
+        # Drop decision: residual loss, fragment compounding, episodes.
+        base = self.spec.base_loss + self.config.default_base_loss
+        per_fragment_survive = (1.0 - base) * (1.0 - extra_loss)
+        if cap_factor <= 0.0 and extra_loss >= 1.0:
+            per_fragment_survive = 0.0
+        survive = per_fragment_survive ** max(1, n_fragments)
+        dropped = bool(self._noise.random() > survive)
+
+        delay_ms = self.propagation_ms + serialization_ms + queue_ms + jitter_ms
+        return TransitSample(delay_ms=delay_ms, dropped=dropped)
+
+    # -- fluid-transfer accounting --------------------------------------------------
+
+    def fluid_share(
+        self,
+        direction: LinkDirection,
+        offered_bps: float,
+        offered_pps: float,
+        t0_s: float,
+        t1_s: float,
+        *,
+        competing_bps: float = 0.0,
+    ) -> Tuple[float, float]:
+        """(byte_accept_ratio, pps_accept_ratio) for a transfer window.
+
+        ``byte_accept_ratio`` compares offered wire bits/s against the
+        capacity left over by cross traffic (scaled down by any active
+        congestion episode) and by ``competing_bps`` of other registered
+        foreground flows; ``pps_accept_ratio`` compares offered packets/s
+        against the *sending* router's pps budget.
+        """
+        rho = self.mean_utilization(direction, t0_s, t1_s)
+        ep_loss, cap_factor = self.episodes.window_disturbance(
+            self.spec, t0_s, t1_s
+        )
+        capacity = self.capacity_bps(direction)
+        available = max(0.0, capacity * (1.0 - rho) - competing_bps)
+        if ep_loss > 0.0:
+            available = available * (1.0 - ep_loss) * max(cap_factor, 0.0) + 1e-9
+
+        byte_ratio = min(1.0, available / max(offered_bps, 1e-9))
+
+        pps_budget = self.config.pps_for(self._sender_sys(direction).isd_as).send
+        recv_budget = self.config.pps_for(self._receiver_sys(direction).isd_as).recv
+        pps_ratio = min(
+            1.0,
+            pps_budget / max(offered_pps, 1e-9),
+            recv_budget / max(offered_pps, 1e-9),
+        )
+        return byte_ratio, pps_ratio

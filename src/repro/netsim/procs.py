@@ -1,0 +1,67 @@
+"""Stochastic background processes: AR(1) cross-traffic utilization.
+
+Each link direction owns one :class:`UtilizationProcess`.  The process is
+sampled on a fixed step grid and generated lazily-but-sequentially, so a
+query at simulated time *t* always returns the same value no matter how
+many queries happened in between — the property that keeps experiments
+deterministic under refactoring.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.netsim.config import UtilizationParams
+
+
+class UtilizationProcess:
+    """Lazily generated, cached AR(1) series clamped to ``[floor, ceil]``."""
+
+    def __init__(self, params: UtilizationParams, rng: np.random.Generator) -> None:
+        if not (0.0 <= params.floor <= params.ceil <= 1.0):
+            raise ValidationError("utilization bounds must satisfy 0<=floor<=ceil<=1")
+        if not (0.0 <= params.rho < 1.0):
+            raise ValidationError(f"AR(1) rho must be in [0,1): {params.rho}")
+        if params.step_s <= 0:
+            raise ValidationError("step_s must be positive")
+        self.params = params
+        self._rng = rng
+        first = params.mean + params.sigma * float(rng.standard_normal())
+        self._values: List[float] = [self._clamp(first)]
+
+    def _clamp(self, u: float) -> float:
+        return min(max(u, self.params.floor), self.params.ceil)
+
+    def _extend_to(self, k: int) -> None:
+        p = self.params
+        while len(self._values) <= k:
+            prev = self._values[-1]
+            nxt = p.mean + p.rho * (prev - p.mean) + p.sigma * float(
+                self._rng.standard_normal()
+            )
+            self._values.append(self._clamp(nxt))
+
+    def value_at(self, t_s: float) -> float:
+        """Utilization fraction in ``[floor, ceil]`` at simulated time t."""
+        if t_s < 0:
+            raise ValidationError(f"negative simulation time: {t_s}")
+        k = int(t_s / self.params.step_s)
+        self._extend_to(k)
+        return self._values[k]
+
+    def mean_over(self, t0_s: float, t1_s: float) -> float:
+        """Average utilization over the window ``[t0, t1]``.
+
+        Used by fluid transfers: a 3-second bandwidth test experiences
+        the average cross-traffic of its window, not a point sample.
+        """
+        if t1_s < t0_s:
+            raise ValidationError("window end before start")
+        k0 = int(t0_s / self.params.step_s)
+        k1 = int(t1_s / self.params.step_s)
+        self._extend_to(k1)
+        window = self._values[k0 : k1 + 1]
+        return float(np.mean(window))

@@ -1,0 +1,30 @@
+"""SCION control/data plane over the simulated topology.
+
+This package provides the path machinery the paper's tooling sits on:
+beacon-derived up/core/down segments, segment combination into
+end-to-end forwarding paths, a per-host daemon (sciond equivalent) with
+caching, and SCMP echo/traceroute services over the network simulator.
+"""
+
+from repro.scion.segments import ASEntry, PathSegment, SegmentKind
+from repro.scion.beaconing import Beaconer
+from repro.scion.path import Path, PathHop
+from repro.scion.combinator import combine_paths
+from repro.scion.daemon import Sciond
+from repro.scion.scmp import ScmpService, EchoStats, TracerouteHop
+from repro.scion.snet import ScionHost
+
+__all__ = [
+    "ASEntry",
+    "PathSegment",
+    "SegmentKind",
+    "Beaconer",
+    "Path",
+    "PathHop",
+    "combine_paths",
+    "Sciond",
+    "ScmpService",
+    "EchoStats",
+    "TracerouteHop",
+    "ScionHost",
+]

@@ -1,0 +1,192 @@
+"""Beacon-equivalent segment discovery over the topology graph.
+
+Real SCION floods Path Construction Beacons (PCBs): core ASes originate
+them, each AS appends its entry and forwards them down parent->child
+links (intra-ISD beaconing) or across core links (core beaconing).  The
+set of segments an AS ends up with is exactly the set of loop-free
+chains from a core to it (bounded by policy).  We compute that set
+directly with bounded depth-first search over the same link structure —
+the outcome is equivalent and deterministic.
+
+Length bounds mirror SCIONLab's practical segment sizes and keep the
+combinatorics matching the testbed: up/down segments of at most
+``max_updown_links`` links and core segments of at most
+``max_core_links`` links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.scion.segments import ASEntry, PathSegment, SegmentKind
+from repro.topology.entities import LinkKind
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+
+DEFAULT_MAX_UPDOWN_LINKS = 4
+DEFAULT_MAX_CORE_LINKS = 3
+
+
+class Beaconer:
+    """Computes and caches up/core/down segments for a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        max_updown_links: int = DEFAULT_MAX_UPDOWN_LINKS,
+        max_core_links: int = DEFAULT_MAX_CORE_LINKS,
+    ) -> None:
+        self.topology = topology
+        self.max_updown_links = max_updown_links
+        self.max_core_links = max_core_links
+        self._up_cache: Dict[ISDAS, Tuple[PathSegment, ...]] = {}
+        self._core_cache: Dict[Tuple[ISDAS, ISDAS], Tuple[PathSegment, ...]] = {}
+
+    # -- up / down segments ------------------------------------------------------
+
+    def up_segments(self, leaf: "ISDAS | str") -> Tuple[PathSegment, ...]:
+        """All bounded loop-free chains from ``leaf`` up to a core AS.
+
+        A core AS has a single trivial up segment (itself), which lets the
+        combinator treat core and non-core sources uniformly.
+        """
+        leaf = ISDAS.parse(leaf)
+        cached = self._up_cache.get(leaf)
+        if cached is None:
+            cached = tuple(self._walk_up(leaf))
+            self._up_cache[leaf] = cached
+        return cached
+
+    def down_segments(self, leaf: "ISDAS | str") -> Tuple[PathSegment, ...]:
+        """All chains from a core AS down to ``leaf`` (reversed up-segments)."""
+        return tuple(seg.reversed() for seg in self.up_segments(leaf))
+
+    def _walk_up(self, leaf: ISDAS) -> List[PathSegment]:
+        topo = self.topology
+        segments: List[PathSegment] = []
+
+        if topo.as_of(leaf).is_core:
+            segments.append(
+                PathSegment(
+                    kind=SegmentKind.UP,
+                    entries=(ASEntry(isd_as=leaf, ingress=None, egress=None),),
+                )
+            )
+            return segments
+
+        # DFS state: current AS, chain of (as, ingress_from_below) with
+        # the egress filled when we pick the next link.
+        def recurse(
+            current: ISDAS,
+            entries: List[ASEntry],
+            visited: Tuple[ISDAS, ...],
+            links_used: int,
+        ) -> None:
+            if topo.as_of(current).is_core:
+                segments.append(PathSegment(kind=SegmentKind.UP, entries=tuple(entries)))
+                return
+            if links_used >= self.max_updown_links:
+                return
+            for link in sorted(
+                topo.links_of(current), key=lambda l: l.interface_of(current)
+            ):
+                if link.kind is not LinkKind.PARENT or link.b != current:
+                    continue
+                parent = link.a
+                if parent in visited:
+                    continue
+                egress = link.interface_of(current)
+                ingress_at_parent = link.interface_of(parent)
+                head = entries[:-1] + [
+                    ASEntry(
+                        isd_as=entries[-1].isd_as,
+                        ingress=entries[-1].ingress,
+                        egress=egress,
+                    ),
+                    ASEntry(isd_as=parent, ingress=ingress_at_parent, egress=None),
+                ]
+                recurse(parent, head, visited + (parent,), links_used + 1)
+
+        recurse(
+            leaf,
+            [ASEntry(isd_as=leaf, ingress=None, egress=None)],
+            (leaf,),
+            0,
+        )
+        return segments
+
+    # -- core segments ---------------------------------------------------------------
+
+    def core_segments(
+        self, src_core: "ISDAS | str", dst_core: "ISDAS | str"
+    ) -> Tuple[PathSegment, ...]:
+        """All bounded loop-free core chains from one core AS to another.
+
+        ``src_core == dst_core`` yields the single empty-ish one-entry
+        segment, meaning "no core traversal needed".
+        """
+        src_core, dst_core = ISDAS.parse(src_core), ISDAS.parse(dst_core)
+        key = (src_core, dst_core)
+        cached = self._core_cache.get(key)
+        if cached is None:
+            cached = tuple(self._walk_core(src_core, dst_core))
+            self._core_cache[key] = cached
+        return cached
+
+    def _walk_core(self, src: ISDAS, dst: ISDAS) -> List[PathSegment]:
+        topo = self.topology
+        if not topo.as_of(src).is_core or not topo.as_of(dst).is_core:
+            return []
+        segments: List[PathSegment] = []
+        if src == dst:
+            segments.append(
+                PathSegment(
+                    kind=SegmentKind.CORE,
+                    entries=(ASEntry(isd_as=src, ingress=None, egress=None),),
+                )
+            )
+            return segments
+
+        def recurse(
+            current: ISDAS,
+            entries: List[ASEntry],
+            visited: Tuple[ISDAS, ...],
+            links_used: int,
+        ) -> None:
+            if current == dst:
+                segments.append(
+                    PathSegment(kind=SegmentKind.CORE, entries=tuple(entries))
+                )
+                return
+            if links_used >= self.max_core_links:
+                return
+            for link in sorted(
+                topo.links_of(current), key=lambda l: l.interface_of(current)
+            ):
+                if link.kind is not LinkKind.CORE:
+                    continue
+                nxt = link.other(current)
+                if nxt in visited:
+                    continue
+                egress = link.interface_of(current)
+                ingress = link.interface_of(nxt)
+                head = entries[:-1] + [
+                    ASEntry(
+                        isd_as=entries[-1].isd_as,
+                        ingress=entries[-1].ingress,
+                        egress=egress,
+                    ),
+                    ASEntry(isd_as=nxt, ingress=ingress, egress=None),
+                ]
+                recurse(nxt, head, visited + (nxt,), links_used + 1)
+
+        recurse(src, [ASEntry(isd_as=src, ingress=None, egress=None)], (src,), 0)
+        return segments
+
+    # -- cache control -------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop all cached segments (topology change, forced refresh)."""
+        self._up_cache.clear()
+        self._core_cache.clear()

@@ -1,0 +1,205 @@
+"""Segment combination: splice up + core + down segments into paths.
+
+Mirrors the SCION path combinator's core rules:
+
+* an up segment of the source is joined to a down segment of the
+  destination through a core segment between their terminal core ASes,
+* the core segment is omitted when both terminate at the same core AS,
+* when the destination *is* a core AS, only up + core are used,
+* spliced paths must be loop-free (an AS may appear only once), and
+* duplicate interface sequences are removed.
+
+Results are returned ranked exactly like ``scion showpaths``: by hop
+count, then lexicographically by interface sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NoPathError
+from repro.scion.beaconing import Beaconer
+from repro.scion.path import Path, PathHop
+from repro.scion.segments import ASEntry, PathSegment
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+
+
+def _merge_chains(
+    chains: Sequence[Tuple[ASEntry, ...]]
+) -> Optional[Tuple[PathHop, ...]]:
+    """Concatenate segment entry chains, fusing junction ASes.
+
+    Consecutive chains must share their junction AS (last of one == first
+    of the next); the fused hop takes the ingress of the earlier entry and
+    the egress of the later one.  Returns None if the splice would loop.
+    """
+    entries: List[ASEntry] = []
+    for chain in chains:
+        if not chain:
+            continue
+        if entries and entries[-1].isd_as == chain[0].isd_as:
+            junction = ASEntry(
+                isd_as=entries[-1].isd_as,
+                ingress=entries[-1].ingress,
+                egress=chain[0].egress,
+            )
+            entries[-1] = junction
+            entries.extend(chain[1:])
+        else:
+            entries.extend(chain)
+    seen = set()
+    for e in entries:
+        if e.isd_as in seen:
+            return None
+        seen.add(e.isd_as)
+    return tuple(PathHop(isd_as=e.isd_as, ingress=e.ingress, egress=e.egress) for e in entries)
+
+
+def combine_paths(
+    beaconer: Beaconer,
+    src: "ISDAS | str",
+    dst: "ISDAS | str",
+    *,
+    max_paths: Optional[int] = None,
+    use_shortcuts: bool = True,
+) -> List[Path]:
+    """All loop-free end-to-end paths from ``src`` to ``dst``, ranked.
+
+    ``use_shortcuts`` additionally builds the two SCION shortcut path
+    shapes that skip the core: *common-AS shortcuts* (the up and down
+    segments cross at a non-core AS) and *peering shortcuts* (an AS on
+    the up segment has a PEER link to an AS on the down segment).
+
+    Raises :class:`NoPathError` when the two ASes are not connected
+    within the beaconer's segment length bounds.
+    """
+    src, dst = ISDAS.parse(src), ISDAS.parse(dst)
+    topo = beaconer.topology
+    if src == dst:
+        raise NoPathError(f"source and destination coincide: {src}")
+
+    ups = beaconer.up_segments(src)
+    dst_is_core = topo.as_of(dst).is_core
+    downs: Tuple[PathSegment, ...]
+    if dst_is_core:
+        downs = ()
+    else:
+        downs = beaconer.down_segments(dst)
+
+    unique: Dict[str, Path] = {}
+    for up in ups:
+        core_src = up.last_as
+        if dst_is_core:
+            for core in beaconer.core_segments(core_src, dst):
+                n_segs = (1 if up.n_links else 0) + (1 if core.n_links else 0)
+                hops = _merge_chains([up.entries, core.entries])
+                _register(unique, src, dst, hops, max(n_segs, 1), topo)
+        else:
+            for down in downs:
+                core_dst = down.first_as
+                for core in beaconer.core_segments(core_src, core_dst):
+                    n_segs = (
+                        (1 if up.n_links else 0)
+                        + (1 if core.n_links else 0)
+                        + (1 if down.n_links else 0)
+                    )
+                    hops = _merge_chains([up.entries, core.entries, down.entries])
+                    _register(unique, src, dst, hops, max(n_segs, 1), topo)
+            if use_shortcuts:
+                _combine_shortcuts(unique, beaconer, src, dst, up, downs)
+
+    if not unique:
+        raise NoPathError(f"no SCION path from {src} to {dst}")
+    ranked = sorted(unique.values(), key=Path.sort_key)
+    if max_paths is not None:
+        ranked = ranked[:max_paths]
+    return ranked
+
+
+def _combine_shortcuts(
+    unique: Dict[str, Path],
+    beaconer: Beaconer,
+    src: ISDAS,
+    dst: ISDAS,
+    up: PathSegment,
+    downs: Tuple[PathSegment, ...],
+) -> None:
+    """Common-AS and peering shortcuts between one up and all down segs.
+
+    Common-AS shortcut: the segments share a non-terminal AS — splice
+    there and never touch the core.  Peering shortcut: an up-segment AS
+    peers laterally with a down-segment AS — cross the PEER link.
+    """
+    from repro.topology.entities import LinkKind
+
+    topo = beaconer.topology
+    for down in downs:
+        up_index = {e.isd_as: i for i, e in enumerate(up.entries)}
+
+        # -- common-AS ("crossover") shortcuts --------------------------------
+        for j, entry in enumerate(down.entries):
+            i = up_index.get(entry.isd_as)
+            if i is None:
+                continue
+            if i == len(up.entries) - 1 and j == 0:
+                continue  # joining at the core is the normal combination
+            head = list(up.entries[: i + 1])
+            tail = list(down.entries[j:])
+            # Fuse at the crossover AS: keep the up ingress-from-below
+            # and the down egress-toward-dst.
+            head[-1] = ASEntry(
+                isd_as=entry.isd_as,
+                ingress=up.entries[i].ingress,
+                egress=down.entries[j].egress,
+            )
+            hops = _merge_chains([tuple(head[:-1]), (head[-1],) + tuple(tail[1:])])
+            _register(unique, src, dst, hops, 2, topo)
+
+        # -- peering shortcuts ----------------------------------------------------
+        down_index = {e.isd_as: j for j, e in enumerate(down.entries)}
+        for i, up_entry in enumerate(up.entries):
+            for link in topo.links_of(up_entry.isd_as):
+                if link.kind is not LinkKind.PEER:
+                    continue
+                other = link.other(up_entry.isd_as)
+                j = down_index.get(other)
+                if j is None:
+                    continue
+                head = list(up.entries[: i + 1])
+                tail = list(down.entries[j:])
+                head[-1] = ASEntry(
+                    isd_as=up_entry.isd_as,
+                    ingress=up.entries[i].ingress,
+                    egress=link.interface_of(up_entry.isd_as),
+                )
+                tail[0] = ASEntry(
+                    isd_as=other,
+                    ingress=link.interface_of(other),
+                    egress=down.entries[j].egress,
+                )
+                hops = _merge_chains([tuple(head), tuple(tail)])
+                _register(unique, src, dst, hops, 2, topo)
+
+
+def _register(
+    unique: Dict[str, Path],
+    src: ISDAS,
+    dst: ISDAS,
+    hops: Optional[Tuple[PathHop, ...]],
+    n_segments: int,
+    topo: Topology,
+) -> None:
+    if hops is None or len(hops) < 2:
+        return
+    path = Path(src=src, dst=dst, hops=hops, n_segments=n_segments)
+    path = Path(
+        src=src,
+        dst=dst,
+        hops=hops,
+        n_segments=n_segments,
+        mtu=path.resolve_mtu(topo),
+    )
+    key = path.sequence()
+    if key not in unique:
+        unique[key] = path

@@ -1,0 +1,76 @@
+"""The per-host SCION daemon (sciond equivalent).
+
+Applications never run the combinator themselves; they ask the local
+daemon, which caches resolved path sets per destination the way sciond
+caches segment lookups.  The cache can be refreshed to pick up topology
+or health changes — the paper's ``--skip`` flag (§5.1) corresponds to
+*not* refreshing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.scion.beaconing import Beaconer
+from repro.scion.combinator import combine_paths
+from repro.scion.path import Path
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+
+DEFAULT_MAX_PATHS = 10  # the showpaths default the paper notes (§3.3)
+
+
+class Sciond:
+    """Caching path-lookup service for one local AS."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        local_ia: "ISDAS | str",
+        *,
+        beaconer: Optional[Beaconer] = None,
+    ) -> None:
+        self.topology = topology
+        self.local_ia = ISDAS.parse(local_ia)
+        self.beaconer = beaconer or Beaconer(topology)
+        self._cache: Dict[ISDAS, List[Path]] = {}
+        self.lookups = 0
+        self.cache_hits = 0
+
+    def paths(
+        self,
+        dst: "ISDAS | str",
+        *,
+        max_paths: Optional[int] = DEFAULT_MAX_PATHS,
+        refresh: bool = False,
+    ) -> List[Path]:
+        """Ranked paths from the local AS to ``dst``.
+
+        ``max_paths=None`` returns every combinable path (the equivalent
+        of a very large ``-m``).  Results are cached per destination;
+        ``refresh=True`` recombines from segments.
+        """
+        dst = ISDAS.parse(dst)
+        self.lookups += 1
+        cached = None if refresh else self._cache.get(dst)
+        if cached is None:
+            cached = combine_paths(self.beaconer, self.local_ia, dst, max_paths=None)
+            self._cache[dst] = cached
+        else:
+            self.cache_hits += 1
+        if max_paths is None:
+            return list(cached)
+        return cached[:max_paths]
+
+    def flush(self) -> None:
+        """Drop the path cache (and segment caches)."""
+        self._cache.clear()
+        self.beaconer.invalidate()
+
+    def path_by_sequence(self, dst: "ISDAS | str", sequence: str) -> Optional[Path]:
+        """Find the cached path whose predicate sequence matches exactly."""
+        normalized = " ".join(sequence.split())
+        for path in self.paths(dst, max_paths=None):
+            if path.sequence() == normalized:
+                return path
+        return None

@@ -1,0 +1,158 @@
+"""SCMP services: echo (ping) and traceroute over the simulated network.
+
+These are the network-level primitives behind ``scion ping`` and
+``scion traceroute`` (§3.3).  Echo probes advance the shared simulation
+clock by their send interval, so a 30-probe ping occupies 3 simulated
+seconds — which is what lets time-windowed congestion episodes knock out
+*consecutive* measurements exactly as in Fig 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.netsim.clock import SimClock
+from repro.netsim.network import NetworkSim, ServerHealth
+from repro.netsim.packet import SCMP_HEADER_BYTES, PacketSpec
+from repro.scion.path import Path
+from repro.topology.isd_as import ISDAS
+
+DEFAULT_PROBE_PAYLOAD = 8  # SCMP echo data bytes used by scion ping
+
+
+@dataclass(frozen=True)
+class EchoStats:
+    """The statistics block ``scion ping`` reports after a run."""
+
+    destination: str
+    sent: int
+    received: int
+    rtts_ms: Tuple[float, ...]
+
+    @property
+    def loss_fraction(self) -> float:
+        return 1.0 - self.received / self.sent if self.sent else 0.0
+
+    @property
+    def loss_pct(self) -> float:
+        return 100.0 * self.loss_fraction
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.rtts_ms) if self.rtts_ms else math.nan
+
+    @property
+    def avg_ms(self) -> float:
+        return sum(self.rtts_ms) / len(self.rtts_ms) if self.rtts_ms else math.nan
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.rtts_ms) if self.rtts_ms else math.nan
+
+    @property
+    def mdev_ms(self) -> float:
+        if len(self.rtts_ms) < 2:
+            return 0.0
+        avg = self.avg_ms
+        return math.sqrt(sum((r - avg) ** 2 for r in self.rtts_ms) / len(self.rtts_ms))
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """Per-router result of a traceroute: three probe RTTs (None = lost)."""
+
+    index: int
+    isd_as: ISDAS
+    interface: int
+    rtts_ms: Tuple[Optional[float], ...]
+
+
+class ScmpService:
+    """Echo/traceroute client bound to a network simulator."""
+
+    def __init__(self, network: NetworkSim) -> None:
+        self.network = network
+
+    # -- echo -----------------------------------------------------------------
+
+    def echo_series(
+        self,
+        path: Path,
+        dst_ip: str,
+        *,
+        count: int = 30,
+        interval_s: float = 0.1,
+        payload_bytes: int = DEFAULT_PROBE_PAYLOAD,
+    ) -> EchoStats:
+        """Send ``count`` SCMP echoes along ``path``; advances the clock.
+
+        Matches the paper's measurement command: 30 probes at 0.1 s
+        intervals (§5.3).
+        """
+        if count < 1:
+            raise ValidationError(f"echo count must be >= 1: {count}")
+        if interval_s <= 0:
+            raise ValidationError("echo interval must be positive")
+        traversals = path.traversals(self.network.topology)
+        packet = PacketSpec(
+            payload_bytes=payload_bytes + SCMP_HEADER_BYTES,
+            n_hops=path.hop_count,
+            n_segments=path.n_segments,
+            underlay_mtu=self.network.config.underlay_mtu,
+        )
+        server_up = (
+            self.network.servers.health(path.dst, dst_ip) is not ServerHealth.DOWN
+        )
+        rtts: List[float] = []
+        clock = self.network.clock
+        for _ in range(count):
+            if server_up:
+                result = self.network.probe_roundtrip(traversals, packet)
+                if not result.lost:
+                    rtts.append(result.rtt_ms)
+            clock.advance(interval_s)
+        return EchoStats(
+            destination=path.dst.address(dst_ip),
+            sent=count,
+            received=len(rtts),
+            rtts_ms=tuple(rtts),
+        )
+
+    # -- traceroute ------------------------------------------------------------------
+
+    def traceroute(
+        self,
+        path: Path,
+        *,
+        probes_per_hop: int = 3,
+        interval_s: float = 0.05,
+    ) -> List[TracerouteHop]:
+        """Probe every router interface along ``path`` in order."""
+        traversals = path.traversals(self.network.topology)
+        packet = PacketSpec(
+            payload_bytes=SCMP_HEADER_BYTES,
+            n_hops=path.hop_count,
+            n_segments=path.n_segments,
+            underlay_mtu=self.network.config.underlay_mtu,
+        )
+        hops: List[TracerouteHop] = []
+        for idx in range(1, len(traversals) + 1):
+            rtts: List[Optional[float]] = []
+            for _ in range(probes_per_hop):
+                result = self.network.probe_partial(traversals, idx, packet)
+                rtts.append(result.rtt_ms)
+                self.network.clock.advance(interval_s)
+            step = traversals[idx - 1]
+            arrived = step.link.other(step.sender)
+            hops.append(
+                TracerouteHop(
+                    index=idx,
+                    isd_as=arrived,
+                    interface=step.link.interface_of(arrived),
+                    rtts_ms=tuple(rtts),
+                )
+            )
+        return hops

@@ -1,0 +1,96 @@
+"""Path segments: the control-plane building blocks of SCION paths.
+
+A segment is a chain of AS entries with the interface pair each AS uses.
+Up-segments run from a leaf AS to a core AS, core-segments between core
+ASes, down-segments from a core AS to a leaf.  The combinator splices
+one of each (down/core optional) into an end-to-end path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.topology.isd_as import ISDAS
+
+
+class SegmentKind(enum.Enum):
+    UP = "up"
+    CORE = "core"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class ASEntry:
+    """One AS inside a segment, with its ingress/egress interface ids.
+
+    Interfaces are oriented in the segment's travel direction: traffic
+    enters through ``ingress`` and leaves through ``egress``.  The first
+    entry has no ingress; the last no egress.
+    """
+
+    isd_as: ISDAS
+    ingress: Optional[int]
+    egress: Optional[int]
+
+    def reversed(self) -> "ASEntry":
+        return ASEntry(isd_as=self.isd_as, ingress=self.egress, egress=self.ingress)
+
+    def __str__(self) -> str:
+        i = self.ingress if self.ingress is not None else 0
+        e = self.egress if self.egress is not None else 0
+        return f"{self.isd_as}#{i},{e}"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """An immutable chain of :class:`ASEntry` of one :class:`SegmentKind`."""
+
+    kind: SegmentKind
+    entries: Tuple[ASEntry, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.entries) < 1:
+            raise ValidationError("segment needs at least one AS entry")
+        if self.entries[0].ingress is not None:
+            raise ValidationError("first segment entry must have no ingress")
+        if self.entries[-1].egress is not None:
+            raise ValidationError("last segment entry must have no egress")
+        for prev, nxt in zip(self.entries, self.entries[1:]):
+            if prev.egress is None or nxt.ingress is None:
+                raise ValidationError("interior segment entries need both interfaces")
+            if prev.isd_as == nxt.isd_as:
+                raise ValidationError(f"segment revisits AS {prev.isd_as}")
+
+    @property
+    def first_as(self) -> ISDAS:
+        return self.entries[0].isd_as
+
+    @property
+    def last_as(self) -> ISDAS:
+        return self.entries[-1].isd_as
+
+    @property
+    def n_links(self) -> int:
+        return len(self.entries) - 1
+
+    def ases(self) -> Tuple[ISDAS, ...]:
+        return tuple(e.isd_as for e in self.entries)
+
+    def reversed(self, kind: Optional[SegmentKind] = None) -> "PathSegment":
+        """The same chain walked the other way (up <-> down)."""
+        if kind is None:
+            kind = {
+                SegmentKind.UP: SegmentKind.DOWN,
+                SegmentKind.DOWN: SegmentKind.UP,
+                SegmentKind.CORE: SegmentKind.CORE,
+            }[self.kind]
+        return PathSegment(
+            kind=kind,
+            entries=tuple(e.reversed() for e in reversed(self.entries)),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}[" + " ".join(str(e) for e in self.entries) + "]"

@@ -1,0 +1,22 @@
+"""SCIONLab coordinator services: user-AS lifecycle and defaults.
+
+Reproduces the §3.2 initialization workflow: creating a user AS through
+the coordinator, receiving an ASN + key pair + PKC, and a generated VM
+configuration artifact, then attaching at an attachment point.
+"""
+
+from repro.scionlab.coordinator import Coordinator, UserAS
+from repro.scionlab.vm import VMConfig, render_vagrantfile
+from repro.scionlab.defaults import (
+    available_server_documents,
+    study_destination_ids,
+)
+
+__all__ = [
+    "Coordinator",
+    "UserAS",
+    "VMConfig",
+    "render_vagrantfile",
+    "available_server_documents",
+    "study_destination_ids",
+]

@@ -1,0 +1,32 @@
+"""User-driven path selection over the measurement database.
+
+The end goal of the paper: "gather data on these paths and store it in
+a database, that we then query to select the best path to give to a
+user to reach a destination, following their request on performance or
+devices to exclude for geographical or sovereignty reasons."
+"""
+
+from repro.selection.request import Metric, UserRequest
+from repro.selection.policies import (
+    BandwidthPolicy,
+    CompositePolicy,
+    JitterPolicy,
+    LatencyPolicy,
+    LossPolicy,
+    policy_for,
+)
+from repro.selection.engine import PathSelector, RankedPath, SelectionResult
+
+__all__ = [
+    "Metric",
+    "UserRequest",
+    "LatencyPolicy",
+    "JitterPolicy",
+    "BandwidthPolicy",
+    "LossPolicy",
+    "CompositePolicy",
+    "policy_for",
+    "PathSelector",
+    "RankedPath",
+    "SelectionResult",
+]

@@ -1,0 +1,53 @@
+"""Human-readable rendering of selection results (the Front-end's voice)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.selection.engine import SelectionResult
+
+
+def render_selection(result: "SelectionResult") -> str:
+    """Multi-line explanation of a selection outcome."""
+    req = result.request
+    lines: List[str] = [
+        f"Path selection for destination {req.server_id} "
+        f"(optimising {req.metric.value})"
+    ]
+    constraints = []
+    if req.exclude_countries:
+        constraints.append(f"avoid countries {sorted(req.exclude_countries)}")
+    if req.exclude_operators:
+        constraints.append(f"avoid operators {sorted(req.exclude_operators)}")
+    if req.exclude_ases:
+        constraints.append(f"avoid ASes {sorted(req.exclude_ases)}")
+    if req.exclude_isds:
+        constraints.append(f"avoid ISDs {sorted(req.exclude_isds)}")
+    if req.max_latency_ms is not None:
+        constraints.append(f"latency <= {req.max_latency_ms:g} ms")
+    if req.max_loss_pct is not None:
+        constraints.append(f"loss <= {req.max_loss_pct:g}%")
+    if req.min_bandwidth_down_mbps is not None:
+        constraints.append(f"downstream >= {req.min_bandwidth_down_mbps:g} Mbps")
+    if constraints:
+        lines.append("constraints: " + "; ".join(constraints))
+
+    if result.best is None:
+        lines.append("NO ADMISSIBLE PATH — every candidate was excluded:")
+        for path_id, reasons in sorted(result.excluded.items()):
+            lines.append(f"  {path_id}: {reasons[0]}")
+        return "\n".join(lines)
+
+    best = result.best
+    lines.append(f"selected path {best.aggregate.path_id}: {best.explanation}")
+    lines.append(f"  hops: {best.hops_display}")
+    if result.alternatives:
+        lines.append("alternatives:")
+        for alt in result.alternatives:
+            lines.append(f"  {alt.aggregate.path_id}: {alt.explanation}")
+    if result.excluded:
+        lines.append(f"excluded {len(result.excluded)} path(s):")
+        for path_id, reasons in sorted(result.excluded.items())[:10]:
+            lines.append(f"  {path_id}: {reasons[0]}")
+    return "\n".join(lines)

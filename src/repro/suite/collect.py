@@ -1,0 +1,129 @@
+"""Path collection (the ``collect_paths.py`` component, §5.2).
+
+For every destination in ``availableServers`` the collector runs the
+showpaths equivalent (``--extended -m 40``), retains only paths whose
+hop count is at most the minimum plus one ("conserving time by excluding
+paths that are overly lengthy"), pre-processes the output into path
+documents, inserts them, and deletes paths that are no longer available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.showpaths import ShowpathsApp
+from repro.docdb.database import Database
+from repro.errors import MeasurementError, NoPathError, ReproError
+from repro.scion.path import Path
+from repro.scion.snet import ScionHost
+from repro.suite.config import (
+    PATHS_COLLECTION,
+    SERVERS_COLLECTION,
+    SuiteConfig,
+)
+
+
+def path_document_id(server_id: int, path_index: int) -> str:
+    """The paper's compound id: path 15 of destination 2 -> ``"2_15"``."""
+    return f"{server_id}_{path_index}"
+
+
+def path_document(
+    server_id: int, path_index: int, path: Path, *, latency_hint_ms: Optional[float]
+) -> Dict[str, object]:
+    """Pre-process one showpaths entry into a ``paths`` document."""
+    return {
+        "_id": path_document_id(server_id, path_index),
+        "server_id": server_id,
+        "path_index": path_index,
+        "dst_isd_as": str(path.dst),
+        "sequence": path.sequence(),
+        "hops_display": path.hops_display(),
+        "hop_count": path.hop_count,
+        "mtu": path.mtu,
+        "isds": sorted(path.isd_set()),
+        "ases": [str(ia) for ia in path.ases()],
+        "fingerprint": path.fingerprint(),
+        "latency_hint_ms": latency_hint_ms,
+    }
+
+
+@dataclass
+class CollectionReport:
+    """Outcome summary of one collection pass."""
+
+    destinations: int = 0
+    paths_stored: int = 0
+    paths_deleted: int = 0
+    failures: Dict[int, str] = field(default_factory=dict)
+
+
+class PathsCollector:
+    """Populates the ``paths`` collection from live path lookups."""
+
+    def __init__(self, host: ScionHost, db: Database, config: SuiteConfig) -> None:
+        self.host = host
+        self.db = db
+        self.config = config
+        self._showpaths = ShowpathsApp(host)
+
+    def destinations(self) -> List[Dict[str, object]]:
+        """The server documents this campaign will test, in id order."""
+        servers = self.db[SERVERS_COLLECTION].find(sort=[("_id", 1)])
+        if self.config.some_only:
+            servers = servers[:1]
+        elif self.config.destination_ids is not None:
+            wanted = set(self.config.destination_ids)
+            servers = [s for s in servers if s["_id"] in wanted]
+        return servers
+
+    def collect(self) -> CollectionReport:
+        """Discover and store paths for every destination."""
+        report = CollectionReport()
+        paths_coll = self.db[PATHS_COLLECTION]
+        paths_coll.create_index("server_id")
+        for server in self.destinations():
+            server_id = int(server["_id"])
+            report.destinations += 1
+            try:
+                kept = self.collect_one(server_id, str(server["isd_as"]))
+            except ReproError as exc:
+                report.failures[server_id] = str(exc)
+                if not self.config.continue_on_error:
+                    raise
+                continue
+            report.paths_stored += len(kept)
+            # Delete paths that are no longer available (§5.2).
+            fresh_ids = {d["_id"] for d in kept}
+            stale = paths_coll.find({"server_id": server_id})
+            victims = [d["_id"] for d in stale if d["_id"] not in fresh_ids]
+            for victim in victims:
+                paths_coll.delete_one({"_id": victim})
+            report.paths_deleted += len(victims)
+        return report
+
+    def collect_one(self, server_id: int, isd_as: str) -> List[Dict[str, object]]:
+        """Collect, filter and upsert paths for one destination."""
+        result = self._showpaths.run(
+            isd_as,
+            max_paths=self.config.showpaths_max,
+            extended=True,
+            refresh=True,
+        )
+        if not result.entries:
+            raise NoPathError(f"no paths advertised for {isd_as}")
+        min_hops = min(e.path.hop_count for e in result.entries)
+        kept_docs: List[Dict[str, object]] = []
+        paths_coll = self.db[PATHS_COLLECTION]
+        index = 0
+        for entry in result.entries:
+            if entry.path.hop_count > min_hops + self.config.hop_slack:
+                continue
+            doc = path_document(
+                server_id, index, entry.path, latency_hint_ms=entry.latency_hint_ms
+            )
+            paths_coll.replace_one({"_id": doc["_id"]}, doc, upsert=True)
+            kept_docs.append(doc)
+            index += 1
+        return kept_docs

@@ -1,0 +1,68 @@
+"""Test-suite configuration.
+
+Defaults reproduce the paper's measurement commands exactly: 30 SCMP
+echoes at 0.1 s intervals, 3-second bandwidth tests at a 12 Mbps target
+with 64-byte and MTU-sized packets, paths capped at 40 per destination
+and filtered to hop count <= minimum + 1 (§5.2-§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+#: Collection names from the paper's database schema (Fig 3).
+SERVERS_COLLECTION = "availableServers"
+PATHS_COLLECTION = "paths"
+STATS_COLLECTION = "paths_stats"
+
+
+@dataclass
+class SuiteConfig:
+    """All knobs of one campaign."""
+
+    database: str = "upin"
+
+    # -- path collection (collect_paths.py, §5.2) ---------------------------
+    showpaths_max: int = 40
+    hop_slack: int = 1  # keep paths with hops <= min + hop_slack
+
+    # -- measurement (run_tests.py, §5.3) ------------------------------------
+    ping_count: int = 30
+    ping_interval: str = "0.1s"
+    bw_duration_s: float = 3.0
+    bw_small_bytes: int = 64
+    bw_target: str = "12Mbps"
+
+    # -- campaign shape --------------------------------------------------------
+    iterations: int = 1
+    #: Restrict to these server ids (None = all); ``--some_only`` uses [first].
+    destination_ids: Optional[Sequence[int]] = None
+    skip_collection: bool = False
+    some_only: bool = False
+
+    # -- robustness (§4.1.2) ------------------------------------------------------
+    max_retries: int = 1
+    continue_on_error: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValidationError("iterations must be >= 0")
+        if self.hop_slack < 0:
+            raise ValidationError("hop_slack must be >= 0")
+        if self.ping_count < 1:
+            raise ValidationError("ping_count must be >= 1")
+        if self.bw_duration_s <= 0:
+            raise ValidationError("bw_duration_s must be positive")
+
+    def bw_params(self, packet: "int | str") -> str:
+        """The ``-cs`` parameter string for one packet class.
+
+        >>> SuiteConfig().bw_params(64)
+        '3,64,?,12Mbps'
+        >>> SuiteConfig().bw_params("MTU")
+        '3,MTU,?,12Mbps'
+        """
+        return f"{self.bw_duration_s:g},{packet},?,{self.bw_target}"

@@ -1,0 +1,99 @@
+"""Fault injection and tolerance plans (§4.1.2).
+
+The paper names three failure families the suite must survive: *data
+loss*, *server failure* (no answer) and *error messages* (bad answer).
+:class:`FaultPlan` schedules all three against a campaign:
+
+* :class:`ServerOutage` marks a destination DOWN or ERROR for a range
+  of campaign iterations,
+* :class:`DataLossFault` makes a fraction of batch flushes crash before
+  the insert (exercising the §4.2.2 bounded-loss design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataLossError, ValidationError
+from repro.netsim.network import NetworkSim, ServerHealth
+from repro.topology.isd_as import ISDAS
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """Destination ``server_id`` is unhealthy for iterations [start, end)."""
+
+    server_id: int
+    start_iteration: int
+    end_iteration: int
+    health: ServerHealth = ServerHealth.DOWN
+
+    def __post_init__(self) -> None:
+        if self.end_iteration <= self.start_iteration:
+            raise ValidationError("outage must span at least one iteration")
+
+    def active(self, iteration: int) -> bool:
+        return self.start_iteration <= iteration < self.end_iteration
+
+
+@dataclass(frozen=True)
+class DataLossFault:
+    """Each flush independently crashes with ``probability``."""
+
+    probability: float
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValidationError(f"bad probability: {self.probability}")
+
+
+class FaultPlan:
+    """A schedule of faults the runner consults during a campaign."""
+
+    def __init__(
+        self,
+        outages: Sequence[ServerOutage] = (),
+        data_loss: Optional[DataLossFault] = None,
+    ) -> None:
+        self.outages = list(outages)
+        self.data_loss = data_loss
+        self._rng = (
+            np.random.default_rng(data_loss.seed) if data_loss is not None else None
+        )
+        self.injected_outages = 0
+        self.injected_losses = 0
+
+    # -- server health ------------------------------------------------------------
+
+    def apply_server_health(
+        self,
+        network: NetworkSim,
+        iteration: int,
+        server_id: int,
+        isd_as: str,
+        ip: str,
+    ) -> None:
+        """Set the destination's health for this iteration."""
+        health = ServerHealth.UP
+        for outage in self.outages:
+            if outage.server_id == server_id and outage.active(iteration):
+                health = outage.health
+                self.injected_outages += 1
+                break
+        network.servers.set_health(ISDAS.parse(isd_as), ip, health)
+
+    # -- data loss -----------------------------------------------------------------
+
+    def flush_hook(self, batch: List[Dict[str, Any]]) -> None:
+        """Install as :attr:`StatsRepository.flush_hook`."""
+        if self._rng is None or self.data_loss is None:
+            return
+        if float(self._rng.random()) < self.data_loss.probability:
+            self.injected_losses += 1
+            raise DataLossError(
+                f"simulated crash before storing {len(batch)} documents"
+            )

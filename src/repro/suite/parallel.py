@@ -1,0 +1,113 @@
+"""Parallel campaigns: scale-out across destinations (§4.1.1).
+
+The paper's scalability requirement — "the system's capability to adapt
+to a larger workload ... the amount of data generated grows both with
+the number of tests performed per destination, as well as the number of
+destinations tested" — is met by sharding destinations over a thread
+pool.  Each worker owns its *own* simulated network client (its own
+clock and RNG streams, seeded per destination so results do not depend
+on scheduling), while all workers write to the shared, thread-safe
+document database.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.docdb.database import Database
+from repro.netsim.config import NetworkConfig
+from repro.scion.snet import ScionHost
+from repro.suite.config import SERVERS_COLLECTION, SuiteConfig
+from repro.suite.runner import CampaignReport, TestRunner
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+from repro.util.rng import derive_seed
+
+
+@dataclass
+class ParallelReport:
+    """Aggregate of the per-destination campaign reports."""
+
+    per_destination: Dict[int, CampaignReport] = field(default_factory=dict)
+
+    @property
+    def stats_stored(self) -> int:
+        return sum(r.stats_stored for r in self.per_destination.values())
+
+    @property
+    def paths_tested(self) -> int:
+        return sum(r.paths_tested for r in self.per_destination.values())
+
+    @property
+    def measurement_errors(self) -> int:
+        return sum(r.measurement_errors for r in self.per_destination.values())
+
+
+class ParallelCampaign:
+    """Runs one single-destination campaign per worker thread."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        local_ia: "ISDAS | str",
+        db: Database,
+        config: SuiteConfig,
+        *,
+        base_config: Optional[NetworkConfig] = None,
+        seed: int = 20231112,
+    ) -> None:
+        self.topology = topology
+        self.local_ia = ISDAS.parse(local_ia)
+        self.db = db
+        self.config = config
+        self.base_config = base_config
+        self.seed = seed
+
+    def _host_for(self, server_id: int) -> ScionHost:
+        """A fresh host whose network is seeded per destination."""
+        if self.base_config is not None:
+            from dataclasses import replace
+
+            net_config = replace(
+                self.base_config, seed=derive_seed(self.seed, f"dest:{server_id}")
+            )
+        else:
+            net_config = NetworkConfig(seed=derive_seed(self.seed, f"dest:{server_id}"))
+        return ScionHost(self.topology, self.local_ia, config=net_config)
+
+    def run(self, *, iterations: int = 1, max_workers: int = 4) -> ParallelReport:
+        """Measure every configured destination concurrently."""
+        servers = self.db[SERVERS_COLLECTION].find(sort=[("_id", 1)])
+        if self.config.destination_ids is not None:
+            wanted = set(self.config.destination_ids)
+            servers = [s for s in servers if s["_id"] in wanted]
+        if self.config.some_only:
+            servers = servers[:1]
+
+        report = ParallelReport()
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(self._run_destination, int(s["_id"]), iterations): int(
+                    s["_id"]
+                )
+                for s in servers
+            }
+            for future in as_completed(futures):
+                server_id = futures[future]
+                report.per_destination[server_id] = future.result()
+        return report
+
+    def _run_destination(self, server_id: int, iterations: int) -> CampaignReport:
+        from dataclasses import replace
+
+        host = self._host_for(server_id)
+        config = replace(
+            self.config,
+            destination_ids=[server_id],
+            some_only=False,
+            iterations=iterations,
+        )
+        runner = TestRunner(host, self.db, config)
+        return runner.run()

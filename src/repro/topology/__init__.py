@@ -1,0 +1,27 @@
+"""SCION topology model: identifiers, entities, graph, SCIONLab world."""
+
+from repro.topology.isd_as import ISDAS
+from repro.topology.entities import (
+    ASRole,
+    AutonomousSystem,
+    Host,
+    LinkKind,
+    LinkSpec,
+)
+from repro.topology.graph import Topology
+from repro.topology.builder import TopologyBuilder
+from repro.topology.scionlab import build_scionlab_world, MY_AS, ETHZ_AP
+
+__all__ = [
+    "ISDAS",
+    "ASRole",
+    "AutonomousSystem",
+    "Host",
+    "LinkKind",
+    "LinkSpec",
+    "Topology",
+    "TopologyBuilder",
+    "build_scionlab_world",
+    "MY_AS",
+    "ETHZ_AP",
+]

@@ -1,0 +1,142 @@
+"""Fluent construction of topologies.
+
+The builder assigns interface ids automatically (monotonically per AS),
+mirrors the SCIONLab convention of one primary host per AS, and keeps
+link capacity defaults in one place so world definitions stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.topology.entities import (
+    ASRole,
+    AutonomousSystem,
+    Host,
+    LinkKind,
+    LinkSpec,
+)
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+from repro.util.geo import GeoPoint
+
+#: Default inter-AS link capacity used when a world definition does not
+#: override it.  SCIONLab overlay links ride research/commodity Internet,
+#: so a few hundred Mbps is realistic.
+DEFAULT_CAPACITY_MBPS = 400.0
+DEFAULT_MTU = 1472
+
+
+@dataclass
+class _PendingAS:
+    asys: AutonomousSystem
+    next_ifid: int = 1
+
+
+class TopologyBuilder:
+    """Accumulates ASes and links, then freezes into a :class:`Topology`."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[ISDAS, _PendingAS] = {}
+        self._links: List[LinkSpec] = []
+
+    # -- AS definition --------------------------------------------------------
+
+    def add_as(
+        self,
+        isd_as: "str | ISDAS",
+        name: str,
+        *,
+        role: ASRole,
+        lat: float,
+        lon: float,
+        country: str,
+        operator: str,
+        city: str = "",
+        ip: Optional[str] = None,
+        extra_hosts: Optional[List[str]] = None,
+        mtu: int = DEFAULT_MTU,
+    ) -> ISDAS:
+        ia = ISDAS.parse(isd_as)
+        if ia in self._pending:
+            raise TopologyError(f"AS {ia} defined twice")
+        hosts = [Host(ip=ip or _default_ip(ia), name=name)]
+        for i, extra_ip in enumerate(extra_hosts or []):
+            hosts.append(Host(ip=extra_ip, name=f"{name}-{i + 2}"))
+        asys = AutonomousSystem(
+            isd_as=ia,
+            name=name,
+            role=role,
+            location=GeoPoint(lat, lon),
+            country=country,
+            operator=operator,
+            city=city or name,
+            hosts=hosts,
+            mtu=mtu,
+        )
+        self._pending[ia] = _PendingAS(asys)
+        return ia
+
+    # -- link definition --------------------------------------------------------
+
+    def _alloc_ifid(self, ia: ISDAS) -> int:
+        pending = self._pending.get(ia)
+        if pending is None:
+            raise TopologyError(f"link references unknown AS {ia}")
+        ifid = pending.next_ifid
+        pending.next_ifid += 1
+        return ifid
+
+    def link(
+        self,
+        a: "str | ISDAS",
+        b: "str | ISDAS",
+        kind: LinkKind,
+        *,
+        capacity_mbps: float = DEFAULT_CAPACITY_MBPS,
+        capacity_ba_mbps: Optional[float] = None,
+        mtu: int = DEFAULT_MTU,
+        base_loss: float = 0.0,
+    ) -> LinkSpec:
+        """Connect ``a`` and ``b``; for PARENT links ``a`` is the provider."""
+        a, b = ISDAS.parse(a), ISDAS.parse(b)
+        spec = LinkSpec(
+            a=a,
+            a_ifid=self._alloc_ifid(a),
+            b=b,
+            b_ifid=self._alloc_ifid(b),
+            kind=kind,
+            capacity_ab_mbps=capacity_mbps,
+            capacity_ba_mbps=(
+                capacity_ba_mbps if capacity_ba_mbps is not None else capacity_mbps
+            ),
+            mtu=mtu,
+            base_loss=base_loss,
+        )
+        self._links.append(spec)
+        return spec
+
+    def core_link(self, a, b, **kw) -> LinkSpec:
+        return self.link(a, b, LinkKind.CORE, **kw)
+
+    def parent_link(self, parent, child, **kw) -> LinkSpec:
+        return self.link(parent, child, LinkKind.PARENT, **kw)
+
+    def peer_link(self, a, b, **kw) -> LinkSpec:
+        return self.link(a, b, LinkKind.PEER, **kw)
+
+    # -- freeze ------------------------------------------------------------------
+
+    def build(self, *, validate: bool = True) -> Topology:
+        return Topology(
+            (p.asys for p in self._pending.values()), self._links, validate=validate
+        )
+
+
+def _default_ip(ia: ISDAS) -> str:
+    """Deterministic RFC-1918 address derived from the AS identity."""
+    low = ia.asn & 0xFF
+    mid = (ia.asn >> 8) & 0xFF
+    return f"10.{ia.isd & 0xFF}.{mid}.{max(low, 1)}"

@@ -1,0 +1,119 @@
+"""Topology serialization: JSON world definitions.
+
+Downstream users will want to study their own SCION deployments, not
+just the bundled SCIONLab reconstruction.  This module round-trips a
+:class:`~repro.topology.graph.Topology` through a plain JSON document
+(one object per AS, one per link) so worlds can be versioned, diffed
+and hand-edited.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ParseError
+from repro.topology.entities import (
+    ASRole,
+    AutonomousSystem,
+    Host,
+    LinkKind,
+    LinkSpec,
+)
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+from repro.util.geo import GeoPoint
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    """Serialize a topology into a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "ases": [
+            {
+                "isd_as": str(a.isd_as),
+                "name": a.name,
+                "role": a.role.value,
+                "lat": a.location.lat,
+                "lon": a.location.lon,
+                "country": a.country,
+                "operator": a.operator,
+                "city": a.city,
+                "mtu": a.mtu,
+                "hosts": [{"ip": h.ip, "name": h.name} for h in a.hosts],
+            }
+            for a in topology.all_ases()
+        ],
+        "links": [
+            {
+                "a": str(l.a),
+                "a_ifid": l.a_ifid,
+                "b": str(l.b),
+                "b_ifid": l.b_ifid,
+                "kind": l.kind.value,
+                "capacity_ab_mbps": l.capacity_ab_mbps,
+                "capacity_ba_mbps": l.capacity_ba_mbps,
+                "mtu": l.mtu,
+                "base_loss": l.base_loss,
+            }
+            for l in topology.links()
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any], *, validate: bool = True) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ParseError(f"unsupported topology format version: {version!r}")
+    ases: List[AutonomousSystem] = []
+    for entry in data.get("ases", []):
+        ases.append(
+            AutonomousSystem(
+                isd_as=ISDAS.parse(entry["isd_as"]),
+                name=str(entry["name"]),
+                role=ASRole(entry["role"]),
+                location=GeoPoint(float(entry["lat"]), float(entry["lon"])),
+                country=str(entry["country"]),
+                operator=str(entry["operator"]),
+                city=str(entry.get("city", "")),
+                mtu=int(entry.get("mtu", 1472)),
+                hosts=[
+                    Host(ip=str(h["ip"]), name=str(h.get("name", "")))
+                    for h in entry.get("hosts", [])
+                ],
+            )
+        )
+    links: List[LinkSpec] = []
+    for entry in data.get("links", []):
+        links.append(
+            LinkSpec(
+                a=ISDAS.parse(entry["a"]),
+                a_ifid=int(entry["a_ifid"]),
+                b=ISDAS.parse(entry["b"]),
+                b_ifid=int(entry["b_ifid"]),
+                kind=LinkKind(entry["kind"]),
+                capacity_ab_mbps=float(entry.get("capacity_ab_mbps", 1000.0)),
+                capacity_ba_mbps=float(entry.get("capacity_ba_mbps", 1000.0)),
+                mtu=int(entry.get("mtu", 1472)),
+                base_loss=float(entry.get("base_loss", 0.0)),
+            )
+        )
+    return Topology(ases, links, validate=validate)
+
+
+def save_topology(topology: Topology, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(topology_to_dict(topology), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_topology(path: str, *, validate: bool = True) -> Topology:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"corrupt topology file {path}: {exc}") from exc
+    return topology_from_dict(data, validate=validate)

@@ -1,0 +1,98 @@
+"""ISD-AS identifiers.
+
+SCION addresses autonomous systems as ``<ISD>-<AS>`` where the ISD is a
+small integer (isolation domain) and the AS number is rendered in the
+three-group hexadecimal BGP-style format SCIONLab uses, e.g.
+``19-ffaa:0:1303``.  Full host addresses append an IP in brackets:
+``19-ffaa:0:1303,[141.44.25.144]`` — exactly the notation the paper's
+figures use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import ParseError
+
+_AS_GROUP_BITS = 16
+_AS_RE = re.compile(r"^([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4}):([0-9a-fA-F]{1,4})$")
+_ISD_AS_RE = re.compile(r"^(\d+)-([0-9a-fA-F:]+)$")
+_ADDR_RE = re.compile(r"^(\d+-[0-9a-fA-F:]+),\[([^\]]+)\]$")
+
+
+@total_ordering
+@dataclass(frozen=True)
+class ISDAS:
+    """An (ISD, AS-number) pair.  AS number is stored as a 48-bit int."""
+
+    isd: int
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.isd < 0 or self.isd > 0xFFFF:
+            raise ParseError(f"ISD out of range: {self.isd}")
+        if self.asn < 0 or self.asn >= 1 << 48:
+            raise ParseError(f"AS number out of range: {self.asn}")
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: "str | ISDAS") -> "ISDAS":
+        """Parse ``"19-ffaa:0:1303"`` into an :class:`ISDAS`."""
+        if isinstance(text, ISDAS):
+            return text
+        m = _ISD_AS_RE.match(str(text).strip())
+        if not m:
+            raise ParseError(f"not an ISD-AS identifier: {text!r}")
+        isd_str, as_str = m.groups()
+        return cls(isd=int(isd_str), asn=cls._parse_asn(as_str))
+
+    @staticmethod
+    def _parse_asn(as_str: str) -> int:
+        m = _AS_RE.match(as_str)
+        if not m:
+            raise ParseError(f"not an AS number: {as_str!r}")
+        hi, mid, lo = (int(g, 16) for g in m.groups())
+        return (hi << (2 * _AS_GROUP_BITS)) | (mid << _AS_GROUP_BITS) | lo
+
+    @classmethod
+    def parse_address(cls, text: str) -> "tuple[ISDAS, str]":
+        """Parse a full host address ``"16-ffaa:0:1002,[172.31.43.7]"``."""
+        m = _ADDR_RE.match(str(text).strip())
+        if not m:
+            raise ParseError(f"not a SCION host address: {text!r}")
+        return cls.parse(m.group(1)), m.group(2)
+
+    # -- formatting ----------------------------------------------------------
+
+    @property
+    def as_str(self) -> str:
+        """The AS number in ``ffaa:0:1303`` notation."""
+        hi = (self.asn >> (2 * _AS_GROUP_BITS)) & 0xFFFF
+        mid = (self.asn >> _AS_GROUP_BITS) & 0xFFFF
+        lo = self.asn & 0xFFFF
+        return f"{hi:x}:{mid:x}:{lo:x}"
+
+    def __str__(self) -> str:
+        return f"{self.isd}-{self.as_str}"
+
+    def address(self, ip: str) -> str:
+        """Full host address string, as printed by ``scion address``."""
+        return f"{self},[{ip}]"
+
+    # -- ordering ------------------------------------------------------------
+
+    def __lt__(self, other: "ISDAS") -> bool:
+        if not isinstance(other, ISDAS):
+            return NotImplemented
+        return (self.isd, self.asn) < (other.isd, other.asn)
+
+    def __repr__(self) -> str:
+        return f"ISDAS({str(self)!r})"
+
+
+def isd_as(text: "str | ISDAS") -> ISDAS:
+    """Shorthand parser used throughout the library."""
+    return ISDAS.parse(text)

@@ -1,0 +1,334 @@
+"""The SCIONLab world topology used by all experiments.
+
+This module reconstructs the 35-AS global SCIONLab topology of the
+paper's Fig. 1 at the fidelity the evaluation needs.  The public
+SCIONLab topology is only published as a figure, so the reconstruction
+is *anchored* on every concrete identity the paper names and fills the
+remainder with plausible SCIONLab participants:
+
+* ``16-ffaa:0:1002`` AWS Ireland (Fig 5/6 destination),
+* ``16-ffaa:0:1003`` AWS N. Virginia (Fig 9 destination),
+* ``16-ffaa:0:1004`` AWS Ohio and ``16-ffaa:0:1007`` AWS Singapore —
+  the two ASes the paper identifies as long-distance, high-jitter
+  detours on Ireland paths (§6.1),
+* ``19-ffaa:0:1303`` Magdeburg AP, Germany (Fig 7/8 destination,
+  host 141.44.25.144),
+* a Korea AS (fifth study destination, §6),
+* ETHZ-AP, the attachment point the authors picked for its central
+  position (§3.2), and their user AS (``MY_AS``) behind it.
+
+Link capacities model the SCIONLab overlay: core links ride
+well-provisioned research networks, leaf/AP links are smaller, and the
+user AS access link is asymmetric (upstream below downstream), which is
+what surfaces as the paper's Fig 7 upstream/downstream gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.entities import ASRole
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+
+# --- identities the rest of the library refers to ---------------------------
+
+MY_AS = ISDAS.parse("17-ffaa:1:e01")
+ETHZ_AP = ISDAS.parse("17-ffaa:0:1107")
+
+AWS_FRANKFURT = ISDAS.parse("16-ffaa:0:1001")
+AWS_IRELAND = ISDAS.parse("16-ffaa:0:1002")
+AWS_N_VIRGINIA = ISDAS.parse("16-ffaa:0:1003")
+AWS_OHIO = ISDAS.parse("16-ffaa:0:1004")
+AWS_OREGON = ISDAS.parse("16-ffaa:0:1005")
+AWS_TOKYO = ISDAS.parse("16-ffaa:0:1006")
+AWS_SINGAPORE = ISDAS.parse("16-ffaa:0:1007")
+
+SCMN_CORE = ISDAS.parse("17-ffaa:0:1101")
+ETHZ_CORE = ISDAS.parse("17-ffaa:0:1102")
+
+MAGDEBURG_CORE = ISDAS.parse("19-ffaa:0:1301")
+GEANT_CORE = ISDAS.parse("19-ffaa:0:1302")
+MAGDEBURG_AP = ISDAS.parse("19-ffaa:0:1303")
+
+KISTI_CORE = ISDAS.parse("20-ffaa:0:1401")
+KAIST_AP = ISDAS.parse("20-ffaa:0:1402")
+
+#: ASes the paper singles out as adding "a wide jitter other than high
+#: latency peeks" (§6.1).  The network simulator consumes this map as
+#: extra per-transit jitter.
+JITTERY_ASES: Dict[ISDAS, float] = {
+    AWS_SINGAPORE: 6.0,  # ms of extra transit jitter (std dev)
+    AWS_OHIO: 5.0,
+}
+
+#: The paper's five-destination study subset (§6): Germany, Ireland,
+#: North Virginia, Singapore, Korea.
+STUDY_DESTINATIONS: Tuple[str, ...] = (
+    "19-ffaa:0:1303",  # Germany (Magdeburg AP)
+    "16-ffaa:0:1002",  # Ireland
+    "16-ffaa:0:1003",  # North Virginia
+    "16-ffaa:0:1007",  # Singapore
+    "20-ffaa:0:1402",  # Korea
+)
+
+
+def build_scionlab_world() -> Topology:
+    """Construct the 35-AS SCIONLab topology plus the attached user AS."""
+    b = TopologyBuilder()
+
+    # --- ISD 16: AWS (global cloud ISD) ------------------------------------
+    b.add_as(AWS_FRANKFURT, "AWS Frankfurt", role=ASRole.CORE,
+             lat=50.11, lon=8.68, country="DE", operator="Amazon",
+             city="Frankfurt", ip="172.31.0.10",
+             extra_hosts=["172.31.0.11"])
+    b.add_as(AWS_IRELAND, "AWS Ireland", role=ASRole.NON_CORE,
+             lat=53.35, lon=-6.26, country="IE", operator="Amazon",
+             city="Dublin", ip="172.31.43.7")
+    b.add_as(AWS_N_VIRGINIA, "AWS N. Virginia", role=ASRole.NON_CORE,
+             lat=39.04, lon=-77.49, country="US", operator="Amazon",
+             city="Ashburn", ip="172.31.19.144")
+    b.add_as(AWS_OHIO, "AWS Ohio", role=ASRole.NON_CORE,
+             lat=40.00, lon=-83.00, country="US", operator="Amazon",
+             city="Columbus", ip="172.31.8.21")
+    b.add_as(AWS_OREGON, "AWS Oregon", role=ASRole.NON_CORE,
+             lat=45.84, lon=-119.70, country="US", operator="Amazon",
+             city="Boardman", ip="172.31.12.9")
+    b.add_as(AWS_TOKYO, "AWS Tokyo", role=ASRole.NON_CORE,
+             lat=35.68, lon=139.69, country="JP", operator="Amazon",
+             city="Tokyo", ip="172.31.30.2")
+    b.add_as(AWS_SINGAPORE, "AWS Singapore", role=ASRole.NON_CORE,
+             lat=1.35, lon=103.82, country="SG", operator="Amazon",
+             city="Singapore", ip="172.31.26.5")
+
+    # AWS regional tree: Frankfurt is the core; Ireland is additionally a
+    # customer of Ohio and Singapore, which is what creates the paper's
+    # long-distance detour paths to Ireland (§6.1), and N. Virginia is
+    # additionally a customer of Ohio (more path diversity for Fig 9).
+    b.parent_link(AWS_FRANKFURT, AWS_IRELAND, capacity_mbps=600)
+    b.parent_link(AWS_FRANKFURT, AWS_N_VIRGINIA, capacity_mbps=600)
+    b.parent_link(AWS_FRANKFURT, AWS_N_VIRGINIA, capacity_mbps=600)
+    b.parent_link(AWS_FRANKFURT, AWS_OHIO, capacity_mbps=500)
+    b.parent_link(AWS_FRANKFURT, AWS_SINGAPORE, capacity_mbps=400)
+    b.parent_link(AWS_FRANKFURT, AWS_TOKYO, capacity_mbps=400)
+    b.parent_link(AWS_OHIO, AWS_IRELAND, capacity_mbps=300)
+    b.parent_link(AWS_SINGAPORE, AWS_IRELAND, capacity_mbps=250)
+    b.parent_link(AWS_OHIO, AWS_N_VIRGINIA, capacity_mbps=400)
+    b.parent_link(AWS_OHIO, AWS_OREGON, capacity_mbps=300)
+    b.parent_link(AWS_TOKYO, AWS_SINGAPORE, capacity_mbps=250)
+
+    # --- ISD 17: Switzerland -------------------------------------------------
+    b.add_as(SCMN_CORE, "Swisscom", role=ASRole.CORE,
+             lat=47.38, lon=8.54, country="CH", operator="Swisscom",
+             city="Zurich", ip="10.17.0.1")
+    b.add_as(ETHZ_CORE, "ETH Zurich", role=ASRole.CORE,
+             lat=47.38, lon=8.55, country="CH", operator="ETH",
+             city="Zurich", ip="10.17.0.2")
+    b.add_as(ETHZ_AP, "ETHZ-AP", role=ASRole.ATTACHMENT_POINT,
+             lat=47.38, lon=8.55, country="CH", operator="ETH",
+             city="Zurich", ip="10.17.0.7")
+    b.add_as("17-ffaa:0:1108", "SCMN-AP", role=ASRole.ATTACHMENT_POINT,
+             lat=46.95, lon=7.45, country="CH", operator="Swisscom",
+             city="Bern", ip="10.17.0.8")
+    b.add_as("17-ffaa:0:1110", "CYD Campus", role=ASRole.NON_CORE,
+             lat=46.76, lon=7.63, country="CH", operator="armasuisse",
+             city="Thun", ip="10.17.0.10")
+
+    b.core_link(SCMN_CORE, ETHZ_CORE, capacity_mbps=1000)
+    # The ETHZ attachment point is multi-homed to both Swiss cores —
+    # this is what multiplies the user's up-segments.
+    b.parent_link(ETHZ_CORE, ETHZ_AP, capacity_mbps=500)
+    b.parent_link(SCMN_CORE, ETHZ_AP, capacity_mbps=400)
+    b.parent_link(SCMN_CORE, "17-ffaa:0:1108", capacity_mbps=400)
+    b.parent_link(ETHZ_CORE, "17-ffaa:0:1110", capacity_mbps=300)
+
+    # --- ISD 19: EU research networks ---------------------------------------
+    b.add_as(MAGDEBURG_CORE, "OVGU Magdeburg core", role=ASRole.CORE,
+             lat=52.14, lon=11.65, country="DE", operator="OVGU",
+             city="Magdeburg", ip="141.44.25.140")
+    b.add_as(GEANT_CORE, "GEANT Amsterdam", role=ASRole.CORE,
+             lat=52.37, lon=4.90, country="NL", operator="GEANT",
+             city="Amsterdam", ip="10.19.2.1")
+    b.add_as(MAGDEBURG_AP, "Magdeburg AP", role=ASRole.ATTACHMENT_POINT,
+             lat=52.14, lon=11.65, country="DE", operator="OVGU",
+             city="Magdeburg", ip="141.44.25.144")
+    b.add_as("19-ffaa:0:1304", "SIDN Labs", role=ASRole.ATTACHMENT_POINT,
+             lat=51.98, lon=5.91, country="NL", operator="SIDN",
+             city="Arnhem", ip="10.19.4.1")
+    b.add_as("19-ffaa:0:1305", "UPV Valencia", role=ASRole.NON_CORE,
+             lat=39.48, lon=-0.34, country="ES", operator="UPV",
+             city="Valencia", ip="10.19.5.1")
+    b.add_as("19-ffaa:0:1306", "TU Darmstadt", role=ASRole.NON_CORE,
+             lat=49.87, lon=8.65, country="DE", operator="TUDa",
+             city="Darmstadt", ip="10.19.6.1")
+
+    b.core_link(MAGDEBURG_CORE, GEANT_CORE, capacity_mbps=1000)
+    b.parent_link(MAGDEBURG_CORE, MAGDEBURG_AP, capacity_mbps=500)
+    b.parent_link(GEANT_CORE, "19-ffaa:0:1304", capacity_mbps=400)
+    b.parent_link(MAGDEBURG_CORE, "19-ffaa:0:1305", capacity_mbps=300)
+    b.parent_link(GEANT_CORE, "19-ffaa:0:1306", capacity_mbps=300)
+
+    # --- ISD 18: North America ----------------------------------------------
+    b.add_as("18-ffaa:0:1201", "CMU Pittsburgh", role=ASRole.CORE,
+             lat=40.44, lon=-79.94, country="US", operator="CMU",
+             city="Pittsburgh", ip="10.18.1.1")
+    b.add_as("18-ffaa:0:1202", "CMU AP", role=ASRole.ATTACHMENT_POINT,
+             lat=40.44, lon=-79.94, country="US", operator="CMU",
+             city="Pittsburgh", ip="10.18.2.1")
+    b.add_as("18-ffaa:0:1203", "Columbia NYC", role=ASRole.NON_CORE,
+             lat=40.81, lon=-73.96, country="US", operator="Columbia",
+             city="New York", ip="10.18.3.1")
+    b.add_as("18-ffaa:0:1204", "UW Madison", role=ASRole.NON_CORE,
+             lat=43.07, lon=-89.40, country="US", operator="UW",
+             city="Madison", ip="10.18.4.1")
+    b.add_as("18-ffaa:0:1205", "UC Berkeley", role=ASRole.NON_CORE,
+             lat=37.87, lon=-122.26, country="US", operator="UCB",
+             city="Berkeley", ip="10.18.5.1")
+
+    b.add_as("18-ffaa:0:1206", "Virginia Tech", role=ASRole.NON_CORE,
+             lat=37.23, lon=-80.42, country="US", operator="VT",
+             city="Blacksburg", ip="10.18.6.1")
+
+    b.parent_link("18-ffaa:0:1201", "18-ffaa:0:1202", capacity_mbps=500)
+    b.parent_link("18-ffaa:0:1201", "18-ffaa:0:1206", capacity_mbps=300)
+    b.parent_link("18-ffaa:0:1202", "18-ffaa:0:1203", capacity_mbps=400)
+    b.parent_link("18-ffaa:0:1202", "18-ffaa:0:1204", capacity_mbps=400)
+    b.parent_link("18-ffaa:0:1204", "18-ffaa:0:1205", capacity_mbps=300)
+    # Lateral peering between the two CMU-AP customers: exercises SCION's
+    # peering-shortcut path shape without touching MY_AS's path sets.
+    b.peer_link("18-ffaa:0:1203", "18-ffaa:0:1204", capacity_mbps=200)
+
+    # --- ISD 20: South Korea --------------------------------------------------
+    b.add_as(KISTI_CORE, "KISTI Daejeon", role=ASRole.CORE,
+             lat=36.35, lon=127.38, country="KR", operator="KISTI",
+             city="Daejeon", ip="10.20.1.1")
+    b.add_as(KAIST_AP, "KAIST AP", role=ASRole.ATTACHMENT_POINT,
+             lat=36.37, lon=127.36, country="KR", operator="KAIST",
+             city="Daejeon", ip="10.20.2.1")
+    b.add_as("20-ffaa:0:1403", "Korea Univ. Seoul", role=ASRole.NON_CORE,
+             lat=37.59, lon=127.03, country="KR", operator="KU",
+             city="Seoul", ip="10.20.3.1")
+
+    b.parent_link(KISTI_CORE, KAIST_AP, capacity_mbps=400)
+    b.parent_link(KAIST_AP, "20-ffaa:0:1403", capacity_mbps=400)
+
+    # --- ISD 21: Taiwan ---------------------------------------------------------
+    b.add_as("21-ffaa:0:1501", "NTU Taipei", role=ASRole.CORE,
+             lat=25.02, lon=121.54, country="TW", operator="NTU",
+             city="Taipei", ip="10.21.1.1")
+    b.add_as("21-ffaa:0:1502", "NCHC Hsinchu", role=ASRole.NON_CORE,
+             lat=24.78, lon=120.99, country="TW", operator="NCHC",
+             city="Hsinchu", ip="10.21.2.1")
+    b.parent_link("21-ffaa:0:1501", "21-ffaa:0:1502", capacity_mbps=300)
+
+    # --- ISD 22: Japan ------------------------------------------------------------
+    b.add_as("22-ffaa:0:1601", "KDDI Tokyo", role=ASRole.CORE,
+             lat=35.68, lon=139.75, country="JP", operator="KDDI",
+             city="Tokyo", ip="10.22.1.1")
+    b.add_as("22-ffaa:0:1602", "KDDI AP", role=ASRole.ATTACHMENT_POINT,
+             lat=35.66, lon=139.70, country="JP", operator="KDDI",
+             city="Tokyo", ip="10.22.2.1")
+    b.parent_link("22-ffaa:0:1601", "22-ffaa:0:1602", capacity_mbps=300)
+
+    # --- ISD 23: Singapore (NUS) ----------------------------------------------------
+    b.add_as("23-ffaa:0:1701", "NUS Singapore", role=ASRole.CORE,
+             lat=1.30, lon=103.77, country="SG", operator="NUS",
+             city="Singapore", ip="10.23.1.1")
+    b.add_as("23-ffaa:0:1702", "NUS AP", role=ASRole.ATTACHMENT_POINT,
+             lat=1.30, lon=103.77, country="SG", operator="NUS",
+             city="Singapore", ip="10.23.2.1")
+    b.parent_link("23-ffaa:0:1701", "23-ffaa:0:1702", capacity_mbps=300)
+
+    # --- ISD 24: United Kingdom ---------------------------------------------------------
+    b.add_as("24-ffaa:0:1801", "Imperial London", role=ASRole.CORE,
+             lat=51.50, lon=-0.18, country="GB", operator="Imperial",
+             city="London", ip="10.24.1.1")
+    b.add_as("24-ffaa:0:1802", "Cambridge", role=ASRole.NON_CORE,
+             lat=52.20, lon=0.12, country="GB", operator="UCam",
+             city="Cambridge", ip="10.24.2.1")
+    b.parent_link("24-ffaa:0:1801", "24-ffaa:0:1802", capacity_mbps=300)
+
+    # --- inter-ISD core mesh ---------------------------------------------------
+    # European triangle + transit towards the AWS ISD.  There is no direct
+    # Swiss-core <-> AWS-core link: every path from MY_AS to an AWS host
+    # transits an EU core (Magdeburg or GEANT), matching the paper's
+    # 6-hop minimum to AWS Ireland.
+    b.core_link(ETHZ_CORE, MAGDEBURG_CORE, capacity_mbps=1000)
+    b.core_link(ETHZ_CORE, GEANT_CORE, capacity_mbps=1000)
+    b.core_link(SCMN_CORE, MAGDEBURG_CORE, capacity_mbps=800)
+    b.core_link(SCMN_CORE, GEANT_CORE, capacity_mbps=800)
+    b.core_link(MAGDEBURG_CORE, AWS_FRANKFURT, capacity_mbps=800)
+    b.core_link(GEANT_CORE, AWS_FRANKFURT, capacity_mbps=800)
+    # UK hangs off GEANT and peers with the AWS core directly, which
+    # yields Ireland paths through a *different ISD set* ({16,17,19,24})
+    # at equal hop count — the Fig 6 grouping dimension.
+    b.core_link(GEANT_CORE, "24-ffaa:0:1801", capacity_mbps=600)
+    b.core_link("24-ffaa:0:1801", AWS_FRANKFURT, capacity_mbps=600)
+    # Transatlantic and Asian transit.
+    b.core_link(MAGDEBURG_CORE, "18-ffaa:0:1201", capacity_mbps=500)
+    b.core_link(ETHZ_CORE, KISTI_CORE, capacity_mbps=400)
+    b.core_link(KISTI_CORE, "21-ffaa:0:1501", capacity_mbps=400)
+    b.core_link("21-ffaa:0:1501", "22-ffaa:0:1601", capacity_mbps=400)
+    b.core_link("22-ffaa:0:1601", "23-ffaa:0:1701", capacity_mbps=300)
+    b.core_link("21-ffaa:0:1501", "23-ffaa:0:1701", capacity_mbps=300)
+
+    # --- the authors' user AS, attached at ETHZ-AP (§3.2) -------------------------
+    # Asymmetric access link: modest upstream, larger downstream — the
+    # source of the paper's Fig 7 upstream/downstream bandwidth gap.
+    b.add_as(MY_AS, "MY_AS", role=ASRole.USER,
+             lat=52.35, lon=4.95, country="NL", operator="UvA",
+             city="Amsterdam", ip="127.0.0.1")
+    b.parent_link(ETHZ_AP, MY_AS, capacity_mbps=40, capacity_ba_mbps=16)
+
+    return b.build()
+
+
+#: Ordered server list backing the paper's ``availableServers`` collection
+#: (§4.2.1): 21 testable destinations, ids 1..21.  Destination 2 is AWS
+#: N. Virginia so Fig 9's path ids (``2_16`` ... ``2_23``) line up, and the
+#: AWS Frankfurt AS contributes two servers ("certain ASes contain
+#: multiple servers").  Ids 1..5 are the paper's five-destination study
+#: subset.
+AVAILABLE_SERVERS: List[Tuple[str, str]] = [
+    ("16-ffaa:0:1002", "172.31.43.7"),     # 1  Ireland
+    ("16-ffaa:0:1003", "172.31.19.144"),   # 2  N. Virginia
+    ("19-ffaa:0:1303", "141.44.25.144"),   # 3  Magdeburg AP (Germany)
+    ("16-ffaa:0:1007", "172.31.26.5"),     # 4  AWS Singapore
+    ("20-ffaa:0:1402", "10.20.2.1"),       # 5  KAIST (Korea)
+    ("16-ffaa:0:1001", "172.31.0.10"),     # 6  AWS Frankfurt (server A)
+    ("16-ffaa:0:1001", "172.31.0.11"),     # 7  AWS Frankfurt (server B)
+    ("16-ffaa:0:1004", "172.31.8.21"),     # 8  AWS Ohio
+    ("16-ffaa:0:1005", "172.31.12.9"),     # 9  AWS Oregon
+    ("16-ffaa:0:1006", "172.31.30.2"),     # 10 AWS Tokyo
+    ("17-ffaa:0:1110", "10.17.0.10"),      # 11 CYD Thun
+    ("17-ffaa:0:1108", "10.17.0.8"),       # 12 SCMN-AP Bern
+    ("19-ffaa:0:1304", "10.19.4.1"),       # 13 SIDN Arnhem
+    ("19-ffaa:0:1305", "10.19.5.1"),       # 14 UPV Valencia
+    ("19-ffaa:0:1306", "10.19.6.1"),       # 15 TU Darmstadt
+    ("17-ffaa:0:1102", "10.17.0.2"),       # 16 ETH Zurich core
+    ("18-ffaa:0:1203", "10.18.3.1"),       # 17 Columbia NYC
+    ("18-ffaa:0:1205", "10.18.5.1"),       # 18 UC Berkeley
+    ("20-ffaa:0:1403", "10.20.3.1"),       # 19 Korea Univ. Seoul
+    ("22-ffaa:0:1602", "10.22.2.1"),       # 20 KDDI AP Tokyo
+    ("23-ffaa:0:1702", "10.23.2.1"),       # 21 NUS AP Singapore
+]
+
+
+def scionlab_network_config(seed: int = 20231112):
+    """The :class:`repro.netsim.config.NetworkConfig` matching this world.
+
+    Encodes the user-VM router limits (small software router behind the
+    ETHZ attachment point) and the extra transit jitter of the two ASes
+    the paper flags in §6.1.
+    """
+    from repro.netsim.config import NetworkConfig, PpsLimits
+
+    return NetworkConfig(
+        seed=seed,
+        extra_jitter_ms=dict(JITTERY_ASES),
+        pps_overrides={
+            MY_AS: PpsLimits(send=11_000.0, recv=18_000.0),
+            ETHZ_AP: PpsLimits(send=30_000.0, recv=30_000.0),
+        },
+    )

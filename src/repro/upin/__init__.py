@@ -1,0 +1,25 @@
+"""The UPIN framework components (§2.1) bound to the SCION substrate.
+
+"The UPIN framework consists of a Domain Explorer, Path Controller,
+Path Tracer, Path Verifier, and Front-end."  The paper's contribution
+relates closely to the Path Controller; the reproduction provides all
+five so the controller has the surroundings the framework assumes.
+"""
+
+from repro.upin.explorer import DomainExplorer
+from repro.upin.controller import PathController, FlowRule
+from repro.upin.tracer import PathTracer, TraceRecord
+from repro.upin.verifier import PathVerifier, VerificationReport, Verdict
+from repro.upin.frontend import Frontend
+
+__all__ = [
+    "DomainExplorer",
+    "PathController",
+    "FlowRule",
+    "PathTracer",
+    "TraceRecord",
+    "PathVerifier",
+    "VerificationReport",
+    "Verdict",
+    "Frontend",
+]

@@ -1,0 +1,175 @@
+"""The UPIN front-end CLI — the user interface the paper names as its
+main future-research direction ("providing a user interface and a path
+recommendation feature").
+
+Each invocation builds the deterministic world, runs a short
+measurement campaign against the requested destination(s), and answers
+one user verb::
+
+    upin-frontend describe
+    upin-frontend nodes --country US
+    upin-frontend recommend 1
+    upin-frontend intent 1 --metric latency --exclude-country US SG
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.docdb.client import DocDBClient
+from repro.errors import ReproError
+from repro.scion.snet import ScionHost
+from repro.selection.request import Metric, UserRequest
+from repro.suite.cli import seed_servers
+from repro.suite.collect import PathsCollector
+from repro.suite.config import SuiteConfig
+from repro.suite.runner import TestRunner
+from repro.upin.frontend import Frontend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="upin-frontend",
+        description="UPIN user front-end over the simulated SCIONLab domain",
+    )
+    parser.add_argument("--seed", type=int, default=20231112)
+    parser.add_argument(
+        "--iterations", type=int, default=3,
+        help="measurement iterations to base answers on",
+    )
+    parser.add_argument(
+        "--upin-isds", type=int, nargs="*", default=[17, 19],
+        help="ISDs whose forwarding our domain can attest",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="summarise the network inventory")
+
+    nodes = sub.add_parser("nodes", help="query the Domain Explorer")
+    nodes.add_argument("--country", default=None)
+    nodes.add_argument("--operator", default=None)
+
+    rec = sub.add_parser("recommend", help="best paths per criterion")
+    rec.add_argument("server_id", type=int)
+    rec.add_argument("--top-k", type=int, default=3)
+
+    intent = sub.add_parser("intent", help="apply a path-control intent")
+    intent.add_argument("server_id", type=int)
+    intent.add_argument("--user", default="cli-user")
+    intent.add_argument(
+        "--metric", default="latency",
+        choices=[m.value for m in Metric if m is not Metric.COMPOSITE],
+    )
+    intent.add_argument("--exclude-country", nargs="*", default=[])
+    intent.add_argument("--exclude-operator", nargs="*", default=[])
+    intent.add_argument("--exclude-as", nargs="*", default=[])
+    intent.add_argument("--exclude-isd", type=int, nargs="*", default=[])
+    intent.add_argument("--max-latency-ms", type=float, default=None)
+    intent.add_argument("--max-loss-pct", type=float, default=None)
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="evaluate an exclusion policy against every destination "
+        "(no measurements needed)",
+    )
+    whatif.add_argument("--exclude-country", nargs="*", default=[])
+    whatif.add_argument("--exclude-operator", nargs="*", default=[])
+    whatif.add_argument("--exclude-as", nargs="*", default=[])
+    whatif.add_argument("--exclude-isd", type=int, nargs="*", default=[])
+
+    return parser
+
+
+def _measured_frontend(args: argparse.Namespace, server_ids: List[int]) -> Frontend:
+    client = DocDBClient()
+    db = client["upin"]
+    seed_servers(db)
+    host = ScionHost.scionlab(seed=args.seed)
+    if server_ids:
+        config = SuiteConfig(
+            iterations=args.iterations, destination_ids=server_ids
+        )
+        PathsCollector(host, db, config).collect()
+        TestRunner(host, db, config).run()
+    return Frontend(host, db, upin_isds=args.upin_isds)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        output = _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(output)
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> str:
+    if args.command == "describe":
+        frontend = _measured_frontend(args, [])
+        return frontend.describe_network()
+
+    if args.command == "nodes":
+        frontend = _measured_frontend(args, [])
+        if args.country:
+            nodes = frontend.explorer.nodes_in_country(args.country)
+        elif args.operator:
+            nodes = frontend.explorer.nodes_of_operator(args.operator)
+        else:
+            nodes = [
+                frontend.explorer.node(str(a.isd_as))
+                for a in frontend.host.topology.all_ases()
+            ]
+        lines = [
+            f"{n['_id']:20s} {n['name']:22s} {n['country']:2s} "
+            f"{n['operator']:10s} {n['role']}"
+            for n in nodes
+        ]
+        return "\n".join(lines) if lines else "no matching nodes"
+
+    if args.command == "recommend":
+        frontend = _measured_frontend(args, [args.server_id])
+        menu = frontend.recommend(args.server_id, top_k=args.top_k)
+        lines = [f"recommendations for destination {args.server_id}:"]
+        for metric, ranked in menu.items():
+            lines.append(f"  {metric}:")
+            for r in ranked:
+                lines.append(f"    {r.aggregate.path_id}: {r.explanation}")
+        return "\n".join(lines)
+
+    if args.command == "intent":
+        frontend = _measured_frontend(args, [args.server_id])
+        request = UserRequest.make(
+            args.server_id,
+            args.metric,
+            exclude_countries=args.exclude_country,
+            exclude_operators=args.exclude_operator,
+            exclude_ases=args.exclude_as,
+            exclude_isds=args.exclude_isd,
+            max_latency_ms=args.max_latency_ms,
+            max_loss_pct=args.max_loss_pct,
+        )
+        outcome = frontend.submit_intent(args.user, request)
+        return outcome.format_text()
+
+    if args.command == "whatif":
+        from repro.analysis.whatif import ExclusionPolicy, path_diversity
+        from repro.scion.snet import ScionHost
+
+        host = ScionHost.scionlab(seed=args.seed)
+        policy = ExclusionPolicy.make(
+            countries=args.exclude_country,
+            operators=args.exclude_operator,
+            ases=args.exclude_as,
+            isds=args.exclude_isd,
+        )
+        return path_diversity(host, policy).format_text()
+
+    raise ReproError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

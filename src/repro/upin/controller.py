@@ -1,0 +1,82 @@
+"""Path Controller: enforce the user's desired path (§2.1).
+
+"The Path Controller is in charge of setting the forwarding rules based
+on the desires of the user.  The Controller is only able to influence
+the nodes in its own domain."  In SCION the sender *is* the forwarding
+rule — picking a path pins the whole route — so the controller's job
+collapses to: run the selection engine, resolve the winning sequence to
+a concrete path, and record the active flow rule for tracing and
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NoPathError
+from repro.scion.path import Path
+from repro.scion.snet import ScionHost
+from repro.selection.engine import PathSelector, SelectionResult
+from repro.selection.request import UserRequest
+from repro.suite.config import SERVERS_COLLECTION
+from repro.topology.isd_as import ISDAS
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """An installed user flow: who talks to which server over which path."""
+
+    user: str
+    server_id: int
+    server_address: str
+    path: Path
+    request: UserRequest
+    selection: SelectionResult
+
+
+class PathController:
+    """Applies user intents by pinning SCION paths."""
+
+    def __init__(self, host: ScionHost, selector: PathSelector) -> None:
+        self.host = host
+        self.selector = selector
+        self._flows: Dict[Tuple[str, int], FlowRule] = {}
+
+    def apply_intent(self, user: str, request: UserRequest) -> FlowRule:
+        """Select a path for the intent and install the flow rule."""
+        selection = self.selector.select(request)
+        if selection.best is None:
+            raise NoPathError(
+                f"no admissible path for user {user!r} to server {request.server_id}"
+            )
+        server = self.selector.db[SERVERS_COLLECTION].find_one(
+            {"_id": request.server_id}
+        )
+        if server is None:
+            raise NoPathError(f"unknown server id {request.server_id}")
+        dst_ia = ISDAS.parse(str(server["isd_as"]))
+        path = self.host.daemon.path_by_sequence(dst_ia, selection.best.sequence)
+        if path is None:
+            raise NoPathError(
+                f"selected path {selection.best.aggregate.path_id} is no longer available"
+            )
+        rule = FlowRule(
+            user=user,
+            server_id=request.server_id,
+            server_address=str(server["address"]),
+            path=path,
+            request=request,
+            selection=selection,
+        )
+        self._flows[(user, request.server_id)] = rule
+        return rule
+
+    def active_flow(self, user: str, server_id: int) -> Optional[FlowRule]:
+        return self._flows.get((user, server_id))
+
+    def flows(self) -> List[FlowRule]:
+        return [self._flows[k] for k in sorted(self._flows)]
+
+    def withdraw(self, user: str, server_id: int) -> bool:
+        return self._flows.pop((user, server_id), None) is not None

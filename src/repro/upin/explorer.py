@@ -1,0 +1,71 @@
+"""Domain Explorer: metadata about the nodes of the network (§2.1).
+
+"The Domain Explorer obtains metadata about properties of the network,
+including security and environmental details.  It stores detailed
+knowledge on the nodes in the network."  Here the metadata source is
+the topology itself (placement, country, operator, role) enriched with
+the trust information SCION exposes (which ISD certifies the AS), and
+it is stored in a database collection so the selection engine and the
+front-end query nodes the same way the suite queries measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.docdb.database import Database
+from repro.topology.entities import ASRole
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+
+NODES_COLLECTION = "domain_nodes"
+
+
+class DomainExplorer:
+    """Publishes per-AS knowledge into the database."""
+
+    def __init__(self, topology: Topology, db: Database) -> None:
+        self.topology = topology
+        self.db = db
+
+    def explore(self) -> int:
+        """(Re)publish every AS's metadata; returns node count."""
+        coll = self.db[NODES_COLLECTION]
+        coll.create_index("country")
+        coll.create_index("operator")
+        count = 0
+        for asys in self.topology.all_ases():
+            doc = {
+                "_id": str(asys.isd_as),
+                "name": asys.name,
+                "role": asys.role.value,
+                "isd": asys.isd_as.isd,
+                "country": asys.country,
+                "operator": asys.operator,
+                "city": asys.city,
+                "lat": asys.location.lat,
+                "lon": asys.location.lon,
+                "is_core": asys.is_core,
+                "mtu": asys.mtu,
+                "degree": len(self.topology.links_of(asys.isd_as)),
+            }
+            coll.replace_one({"_id": doc["_id"]}, doc, upsert=True)
+            count += 1
+        return count
+
+    # -- queries the Front-end / selection engine use -----------------------------
+
+    def node(self, ia: "ISDAS | str") -> Optional[Dict[str, Any]]:
+        return self.db[NODES_COLLECTION].find_one({"_id": str(ISDAS.parse(ia))})
+
+    def nodes_in_country(self, country: str) -> List[Dict[str, Any]]:
+        return self.db[NODES_COLLECTION].find({"country": country.upper()})
+
+    def nodes_of_operator(self, operator: str) -> List[Dict[str, Any]]:
+        return self.db[NODES_COLLECTION].find({"operator": operator})
+
+    def countries(self) -> List[str]:
+        return sorted(self.db[NODES_COLLECTION].distinct("country"))
+
+    def operators(self) -> List[str]:
+        return sorted(self.db[NODES_COLLECTION].distinct("operator"))

@@ -1,0 +1,84 @@
+"""Front-end: the user's interface to the UPIN domain (§2.1).
+
+"The Front-end provides a method of communication between the user and
+the domain."  This facade wires explorer, selector, controller, tracer
+and verifier together behind the handful of verbs a user needs, and is
+what the interactive example drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.docdb.database import Database
+from repro.scion.snet import ScionHost
+from repro.selection.engine import PathSelector, RankedPath, SelectionResult
+from repro.selection.request import Metric, UserRequest
+from repro.upin.controller import FlowRule, PathController
+from repro.upin.explorer import DomainExplorer
+from repro.upin.tracer import PathTracer, TraceRecord
+from repro.upin.verifier import PathVerifier, VerificationReport
+
+
+@dataclass(frozen=True)
+class IntentOutcome:
+    """What the front-end reports back after an intent is applied."""
+
+    rule: FlowRule
+    trace: TraceRecord
+    verification: VerificationReport
+
+    def format_text(self) -> str:
+        return (
+            self.rule.selection.format_text()
+            + "\n"
+            + self.verification.format_text()
+        )
+
+
+class Frontend:
+    """One UPIN domain's user-facing service."""
+
+    def __init__(
+        self,
+        host: ScionHost,
+        db: Database,
+        *,
+        upin_isds: Sequence[int] = (),
+    ) -> None:
+        self.host = host
+        self.db = db
+        self.explorer = DomainExplorer(host.topology, db)
+        self.selector = PathSelector(db, host.topology)
+        self.controller = PathController(host, self.selector)
+        self.tracer = PathTracer(host, db)
+        self.verifier = PathVerifier(
+            host.topology,
+            upin_isds=upin_isds or [host.local_ia.isd],
+        )
+        self.explorer.explore()
+
+    # -- user verbs -----------------------------------------------------------------
+
+    def submit_intent(self, user: str, request: UserRequest) -> IntentOutcome:
+        """Apply an intent end-to-end: select, install, trace, verify."""
+        rule = self.controller.apply_intent(user, request)
+        trace = self.tracer.trace_flow(rule)
+        verification = self.verifier.verify(rule, trace)
+        return IntentOutcome(rule=rule, trace=trace, verification=verification)
+
+    def recommend(self, server_id: int, *, top_k: int = 3) -> Dict[str, List[RankedPath]]:
+        """The recommendation menu (the paper's future-work feature)."""
+        return self.selector.recommend(server_id, top_k=top_k)
+
+    def describe_network(self) -> str:
+        """Short textual network inventory from the Domain Explorer."""
+        countries = self.explorer.countries()
+        operators = self.explorer.operators()
+        n_nodes = len(self.host.topology)
+        return (
+            f"{n_nodes} ASes across {len(countries)} countries "
+            f"({', '.join(countries)}), "
+            f"{len(operators)} operators"
+        )

@@ -1,0 +1,120 @@
+"""Path Verifier: did the traffic follow the user's intent? (§2.1)
+
+"The Path Verifier examines whether the desires of the user are
+satisfied.  However, if the path traverses a non-UPIN enabled domain,
+the Path Verifier cannot be certain whether the intent is satisfied
+over the full path."  The verifier compares the tracer's observed hop
+sequence against the controller's intended path and against the
+request's exclusion constraints; hops in non-UPIN ISDs downgrade a
+positive verdict to UNVERIFIABLE for that portion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.topology.graph import Topology
+from repro.topology.isd_as import ISDAS
+from repro.upin.controller import FlowRule
+from repro.upin.tracer import TraceRecord
+
+
+class Verdict(enum.Enum):
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNVERIFIABLE = "unverifiable"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying one trace against one flow rule."""
+
+    verdict: Verdict
+    intended_hops: Tuple[str, ...]
+    observed_hops: Tuple[str, ...]
+    mismatches: Tuple[str, ...]
+    unverified_hops: Tuple[str, ...]
+    notes: Tuple[str, ...]
+
+    def format_text(self) -> str:
+        lines = [f"verdict: {self.verdict.value}"]
+        if self.mismatches:
+            lines.append("mismatches: " + "; ".join(self.mismatches))
+        if self.unverified_hops:
+            lines.append(
+                "outside UPIN domains (unverifiable): "
+                + ", ".join(self.unverified_hops)
+            )
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+class PathVerifier:
+    """Replays traces against intents."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        upin_isds: Sequence[int] = (),
+    ) -> None:
+        self.topology = topology
+        #: ISDs whose domains run UPIN and can attest their forwarding.
+        self.upin_isds: FrozenSet[int] = frozenset(upin_isds)
+
+    def verify(self, rule: FlowRule, trace: TraceRecord) -> VerificationReport:
+        """Compare a trace with the installed flow rule."""
+        intended = tuple(str(ia) for ia in rule.path.ases()[1:])  # tracer sees hops after src
+        observed = trace.observed_hops
+        mismatches: List[str] = []
+        notes: List[str] = []
+
+        if observed != intended:
+            for i, (want, got) in enumerate(zip(intended, observed)):
+                if want != got:
+                    mismatches.append(f"hop {i + 1}: intended {want}, observed {got}")
+            if len(observed) != len(intended):
+                mismatches.append(
+                    f"hop count: intended {len(intended)}, observed {len(observed)}"
+                )
+
+        # Constraint re-check on the *observed* route.
+        request = rule.request
+        for hop in observed:
+            asys = self.topology.as_of(hop)
+            if asys.country.upper() in request.exclude_countries:
+                mismatches.append(
+                    f"observed hop {hop} is in excluded country {asys.country}"
+                )
+            if asys.operator in request.exclude_operators:
+                mismatches.append(
+                    f"observed hop {hop} is run by excluded operator {asys.operator}"
+                )
+            if hop in request.exclude_ases:
+                mismatches.append(f"observed hop {hop} is an excluded AS")
+
+        unverified = tuple(
+            hop
+            for hop in observed
+            if ISDAS.parse(hop).isd not in self.upin_isds
+        )
+        if mismatches:
+            verdict = Verdict.VIOLATED
+        elif unverified:
+            verdict = Verdict.UNVERIFIABLE
+            notes.append(
+                "intent holds on every verifiable hop; "
+                f"{len(unverified)} hop(s) cross non-UPIN domains"
+            )
+        else:
+            verdict = Verdict.SATISFIED
+        return VerificationReport(
+            verdict=verdict,
+            intended_hops=intended,
+            observed_hops=observed,
+            mismatches=tuple(mismatches),
+            unverified_hops=unverified,
+            notes=tuple(notes),
+        )

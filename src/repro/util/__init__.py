@@ -1,0 +1,26 @@
+"""Shared utilities: unit parsing, geography, RNG streams, validation."""
+
+from repro.util.units import (
+    Bandwidth,
+    Duration,
+    parse_bandwidth,
+    parse_duration,
+    format_bandwidth,
+    format_duration,
+)
+from repro.util.geo import GeoPoint, haversine_km, propagation_delay_ms
+from repro.util.rng import RngStreams, derive_seed
+
+__all__ = [
+    "Bandwidth",
+    "Duration",
+    "parse_bandwidth",
+    "parse_duration",
+    "format_bandwidth",
+    "format_duration",
+    "GeoPoint",
+    "haversine_km",
+    "propagation_delay_ms",
+    "RngStreams",
+    "derive_seed",
+]

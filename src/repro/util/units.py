@@ -1,0 +1,177 @@
+"""Parsing and formatting of bandwidth and duration quantities.
+
+The SCION applications the paper relies on exchange quantities as short
+strings: bandwidth targets like ``"12Mbps"`` or ``"150Mbps"`` (bwtester
+parameter strings, §3.3) and intervals like ``"0.1s"`` (``scion ping
+--interval``).  This module provides a single, strict implementation used
+by every layer so the CLI surface parses exactly what the real tools
+accept.
+
+Internally bandwidth is represented in **bits per second** (float) and
+durations in **seconds** (float); both get thin value-object wrappers for
+readable signatures.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+# Multipliers follow the SI convention the real bwtester uses (1 Mbps =
+# 1e6 bit/s, not 2**20).
+_BW_UNITS = {
+    "bps": 1.0,
+    "kbps": 1e3,
+    "mbps": 1e6,
+    "gbps": 1e9,
+    "tbps": 1e12,
+}
+
+_DUR_UNITS = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "µs": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+}
+
+_BW_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([A-Za-z]+)\s*$")
+_DUR_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Zµ]*)\s*$")
+
+
+@dataclass(frozen=True, order=True)
+class Bandwidth:
+    """A bandwidth quantity in bits per second.
+
+    Supports ordering and arithmetic with plain numbers so analysis code
+    can aggregate without unwrapping.
+    """
+
+    bps: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.bps) or self.bps < 0:
+            raise ValidationError(f"bandwidth must be finite and >= 0, got {self.bps}")
+
+    @property
+    def mbps(self) -> float:
+        return self.bps / 1e6
+
+    @property
+    def kbps(self) -> float:
+        return self.bps / 1e3
+
+    def __mul__(self, factor: float) -> "Bandwidth":
+        return Bandwidth(self.bps * factor)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "Bandwidth") -> "Bandwidth":
+        return Bandwidth(self.bps + other.bps)
+
+    def __sub__(self, other: "Bandwidth") -> "Bandwidth":
+        return Bandwidth(max(0.0, self.bps - other.bps))
+
+    def __str__(self) -> str:
+        return format_bandwidth(self)
+
+
+@dataclass(frozen=True, order=True)
+class Duration:
+    """A duration in seconds."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.seconds) or self.seconds < 0:
+            raise ValidationError(
+                f"duration must be finite and >= 0, got {self.seconds}"
+            )
+
+    @property
+    def ms(self) -> float:
+        return self.seconds * 1e3
+
+    def __mul__(self, factor: float) -> "Duration":
+        return Duration(self.seconds * factor)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "Duration") -> "Duration":
+        return Duration(self.seconds + other.seconds)
+
+    def __str__(self) -> str:
+        return format_duration(self)
+
+
+def parse_bandwidth(text: str) -> Bandwidth:
+    """Parse ``"12Mbps"``-style strings (case-insensitive unit).
+
+    >>> parse_bandwidth("12Mbps").mbps
+    12.0
+    >>> parse_bandwidth("500kbps").bps
+    500000.0
+    """
+    if isinstance(text, Bandwidth):
+        return text
+    m = _BW_RE.match(str(text))
+    if not m:
+        raise ParseFailure("bandwidth", text)
+    value, unit = m.groups()
+    key = unit.lower()
+    if key not in _BW_UNITS:
+        raise ParseFailure("bandwidth unit", unit)
+    return Bandwidth(float(value) * _BW_UNITS[key])
+
+
+def parse_duration(text: str) -> Duration:
+    """Parse ``"0.1s"`` / ``"250ms"`` style strings.
+
+    A bare number is interpreted as seconds, matching the Go duration
+    behaviour of the real tooling only loosely but unambiguously.
+    """
+    if isinstance(text, Duration):
+        return text
+    m = _DUR_RE.match(str(text))
+    if not m:
+        raise ParseFailure("duration", text)
+    value, unit = m.groups()
+    key = unit or "s"
+    if key not in _DUR_UNITS:
+        raise ParseFailure("duration unit", unit)
+    return Duration(float(value) * _DUR_UNITS[key])
+
+
+def format_bandwidth(bw: Bandwidth, *, digits: int = 2) -> str:
+    """Render a bandwidth with the largest unit that keeps value >= 1."""
+    bps = bw.bps
+    for unit, mult in (("Tbps", 1e12), ("Gbps", 1e9), ("Mbps", 1e6), ("kbps", 1e3)):
+        if bps >= mult:
+            return f"{bps / mult:.{digits}f}{unit}"
+    # Sub-kbps: keep fractional precision but drop trailing zeros so the
+    # common integral case still reads "900bps".
+    text = f"{bps:.{digits}f}".rstrip("0").rstrip(".")
+    return f"{text or '0'}bps"
+
+
+def format_duration(d: Duration, *, digits: int = 3) -> str:
+    """Render a duration, preferring milliseconds for sub-second values."""
+    if d.seconds == 0:
+        return "0s"
+    if d.seconds < 1.0:
+        return f"{d.ms:.{digits}f}ms"
+    return f"{d.seconds:.{digits}f}s"
+
+
+class ParseFailure(ValidationError):
+    """Raised when a quantity string cannot be parsed."""
+
+    def __init__(self, what: str, text: object) -> None:
+        super().__init__(f"cannot parse {what}: {text!r}")
+        self.what = what
+        self.text = text

@@ -1,0 +1,36 @@
+"""Shared test helpers importable from test modules."""
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.entities import ASRole
+
+
+def build_tiny_world():
+    """A 6-AS two-ISD world, small enough to reason about by hand.
+
+    ISD 1:  core1a == core1b (core link), AP under both cores, user
+    under the AP.  ISD 2:  core2 (core-linked to both ISD-1 cores),
+    leaf under core2.
+    """
+    b = TopologyBuilder()
+    b.add_as("1-ffaa:0:1", "core1a", role=ASRole.CORE, lat=47.4, lon=8.5,
+             country="CH", operator="OpA", ip="10.1.0.1")
+    b.add_as("1-ffaa:0:2", "core1b", role=ASRole.CORE, lat=47.0, lon=7.4,
+             country="CH", operator="OpB", ip="10.1.0.2")
+    b.add_as("1-ffaa:0:3", "ap", role=ASRole.ATTACHMENT_POINT, lat=47.4,
+             lon=8.6, country="CH", operator="OpA", ip="10.1.0.3")
+    b.add_as("1-ffaa:1:1", "user", role=ASRole.USER, lat=52.4, lon=4.9,
+             country="NL", operator="UvA", ip="127.0.0.1")
+    b.add_as("2-ffaa:0:1", "core2", role=ASRole.CORE, lat=50.1, lon=8.7,
+             country="DE", operator="OpC", ip="10.2.0.1")
+    b.add_as("2-ffaa:0:2", "leaf", role=ASRole.NON_CORE, lat=53.3, lon=-6.3,
+             country="IE", operator="OpC", ip="10.2.0.2")
+
+    b.core_link("1-ffaa:0:1", "1-ffaa:0:2")
+    b.core_link("1-ffaa:0:1", "2-ffaa:0:1")
+    b.core_link("1-ffaa:0:2", "2-ffaa:0:1")
+    b.parent_link("1-ffaa:0:1", "1-ffaa:0:3")
+    b.parent_link("1-ffaa:0:2", "1-ffaa:0:3")
+    b.parent_link("1-ffaa:0:3", "1-ffaa:1:1",
+                  capacity_mbps=40, capacity_ba_mbps=16)
+    b.parent_link("2-ffaa:0:1", "2-ffaa:0:2")
+    return b.build()

@@ -1,0 +1,129 @@
+"""Tests for the selection ablation experiment and the UPIN front-end CLI."""
+
+import pytest
+
+from repro.experiments import ablation_selection
+from repro.selection.engine import PathSelector
+from repro.selection.request import Metric, UserRequest
+from repro.upin.cli import build_parser, main
+
+
+class TestSelectionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_selection.run(rounds=6, seed=20231112)
+
+    def test_default_strategy_dies_during_congestion(self, result):
+        assert result.disturbed_delivery_rate("default") < 0.05
+
+    def test_upin_strategy_routes_around(self, result):
+        assert result.disturbed_delivery_rate("upin") > 0.9
+
+    def test_upin_wins_overall(self, result):
+        assert result.delivery_rate("upin") > result.delivery_rate("default") + 0.3
+
+    def test_default_never_switches(self, result):
+        assert result.switches("default") == 0
+
+    def test_upin_switches_at_least_once(self, result):
+        assert result.switches("upin") >= 1
+
+    def test_upin_avoids_disturbed_as_while_congested(self, result):
+        disturbed_picks = {
+            o.path_id
+            for o in result.outcomes
+            if o.strategy == "upin" and o.disturbed and o.round_index > 2
+        }
+        # After the first congested round the selection sees the losses
+        # and must not pick the default path again.
+        assert "1_0" not in disturbed_picks
+
+    def test_format_text(self, result):
+        text = result.format_text()
+        assert "overall delivery" in text
+        assert "during congestion" in text
+
+
+class TestSinceMsSelection:
+    def test_recent_window_changes_the_answer(self, measured_world):
+        """Restricting to samples after the last round must still work
+        and agree with the full-history ranking in a calm campaign."""
+        selector = PathSelector(measured_world.db, measured_world.host.topology)
+        full = selector.select(UserRequest.make(1, Metric.LATENCY))
+        docs = measured_world.db["paths_stats"].find(
+            {"server_id": 1}, sort=[("timestamp_ms", -1)]
+        )
+        cutoff = docs[len(docs) // 2]["timestamp_ms"]
+        recent = selector.select(
+            UserRequest.make(1, Metric.LATENCY), since_ms=cutoff
+        )
+        assert recent.best is not None
+        assert all(
+            r.aggregate.samples <= full.best.aggregate.samples
+            for r in recent.ranked
+        )
+
+    def test_future_cutoff_raises_no_path(self, measured_world):
+        from repro.errors import NoPathError
+
+        selector = PathSelector(measured_world.db, measured_world.host.topology)
+        with pytest.raises(NoPathError):
+            selector.select(UserRequest.make(1), since_ms=10**15)
+
+
+class TestUpinFrontendCli:
+    def test_parser_subcommands(self):
+        args = build_parser().parse_args(
+            ["intent", "1", "--metric", "jitter", "--exclude-country", "US"]
+        )
+        assert args.server_id == 1
+        assert args.metric == "jitter"
+        assert args.exclude_country == ["US"]
+
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        assert "36 ASes" in capsys.readouterr().out
+
+    def test_nodes_by_country(self, capsys):
+        assert main(["nodes", "--country", "IE"]) == 0
+        out = capsys.readouterr().out
+        assert "16-ffaa:0:1002" in out and "Amazon" in out
+
+    def test_nodes_by_operator(self, capsys):
+        assert main(["nodes", "--operator", "KISTI"]) == 0
+        assert "20-ffaa:0:1401" in capsys.readouterr().out
+
+    def test_recommend(self, capsys):
+        assert main(["--iterations", "2", "recommend", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out and "3_" in out
+
+    def test_intent_with_exclusions(self, capsys):
+        assert (
+            main(
+                ["--iterations", "2", "intent", "1",
+                 "--exclude-country", "US", "SG"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "selected path" in out
+        assert "verdict:" in out
+
+    def test_unsatisfiable_intent_errors(self, capsys):
+        assert (
+            main(["--iterations", "1", "intent", "1", "--exclude-isd", "16"]) == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWhatIfCli:
+    def test_whatif_policy_table(self, capsys):
+        assert main(["whatif", "--exclude-country", "US", "SG"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable destinations: 14/21" in out
+        assert "16-ffaa:0:1003" in out  # N. Virginia lost
+
+    def test_whatif_empty_policy(self, capsys):
+        assert main(["whatif"]) == 0
+        assert "reachable destinations: 21/21" in capsys.readouterr().out

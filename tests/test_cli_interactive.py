@@ -1,0 +1,47 @@
+"""Tests for the interactive ping mode of the scion-sim CLI."""
+
+import io
+
+import pytest
+
+from repro.apps.cli import main
+
+
+class TestInteractivePing:
+    def test_menu_and_choice(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("2\n"))
+        monkeypatch.setattr("builtins.input", lambda prompt="": "2")
+        rc = main(
+            ["ping", "19-ffaa:0:1303,[141.44.25.144]", "-c", "2", "--interactive"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Available paths:" in out
+        assert "[ 2]" in out
+        assert "packets transmitted" in out
+
+    def test_out_of_range_choice_fails(self, capsys, monkeypatch):
+        monkeypatch.setattr("builtins.input", lambda prompt="": "99")
+        rc = main(
+            ["ping", "19-ffaa:0:1303,[141.44.25.144]", "-c", "1", "--interactive"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_choice_fails(self, capsys, monkeypatch):
+        monkeypatch.setattr("builtins.input", lambda prompt="": "banana")
+        rc = main(
+            ["ping", "19-ffaa:0:1303,[141.44.25.144]", "-c", "1", "--interactive"]
+        )
+        assert rc == 1
+        assert "not a path index" in capsys.readouterr().err
+
+    def test_interactive_lists_all_paths_not_just_ten(self, capsys, monkeypatch):
+        """Ireland has 42 combinable paths; interactive mode shows all."""
+        monkeypatch.setattr("builtins.input", lambda prompt="": "0")
+        rc = main(
+            ["ping", "16-ffaa:0:1002,[172.31.43.7]", "-c", "1", "--interactive"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[41]" in out

@@ -1,0 +1,122 @@
+"""Tests for document primitives (repro.docdb.document)."""
+
+import pytest
+
+from repro.docdb.document import (
+    get_path,
+    iter_path_values,
+    new_object_id,
+    normalize_document,
+    set_path,
+    unset_path,
+)
+from repro.errors import QueryError, ValidationError
+
+
+class TestNormalize:
+    def test_assigns_id(self):
+        doc = normalize_document({"a": 1})
+        assert "_id" in doc and len(doc["_id"]) == 24
+
+    def test_keeps_explicit_id(self):
+        assert normalize_document({"_id": "2_15"})["_id"] == "2_15"
+
+    def test_deep_copies(self):
+        inner = {"x": [1, 2]}
+        doc = normalize_document({"_id": 1, "inner": inner})
+        inner["x"].append(3)
+        assert doc["inner"]["x"] == [1, 2]
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValidationError):
+            normalize_document([1, 2])
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(ValidationError):
+            normalize_document({1: "x"})
+
+    def test_rejects_exotic_values(self):
+        with pytest.raises(ValidationError):
+            normalize_document({"x": object()})
+
+    def test_rejects_deep_nesting(self):
+        doc = {}
+        cursor = doc
+        for _ in range(70):
+            cursor["d"] = {}
+            cursor = cursor["d"]
+        with pytest.raises(ValidationError):
+            normalize_document(doc)
+
+    def test_object_ids_unique(self):
+        assert new_object_id() != new_object_id()
+
+
+class TestPathResolution:
+    DOC = {
+        "a": {"b": {"c": 7}},
+        "arr": [{"x": 1}, {"x": 2}, {"y": 3}],
+        "plain": 5,
+    }
+
+    def test_top_level(self):
+        assert get_path(self.DOC, "plain") == (True, 5)
+
+    def test_nested(self):
+        assert get_path(self.DOC, "a.b.c") == (True, 7)
+
+    def test_missing(self):
+        found, value = get_path(self.DOC, "a.b.zzz")
+        assert not found and value is None
+
+    def test_numeric_index_into_array(self):
+        assert get_path(self.DOC, "arr.1.x") == (True, 2)
+
+    def test_index_out_of_range(self):
+        assert get_path(self.DOC, "arr.9.x")[0] is False
+
+    def test_array_fanout(self):
+        assert list(iter_path_values(self.DOC, "arr.x")) == [1, 2]
+
+    def test_empty_path_returns_doc(self):
+        assert get_path(self.DOC, "") == (True, self.DOC)
+
+
+class TestSetUnset:
+    def test_set_creates_intermediates(self):
+        doc = {}
+        set_path(doc, "a.b.c", 1)
+        assert doc == {"a": {"b": {"c": 1}}}
+
+    def test_set_overwrites(self):
+        doc = {"a": 1}
+        set_path(doc, "a", 2)
+        assert doc["a"] == 2
+
+    def test_set_list_index_pads(self):
+        doc = {"arr": [1]}
+        set_path(doc, "arr.3", 9)
+        assert doc["arr"] == [1, None, None, 9]
+
+    def test_set_creates_list_for_numeric_component(self):
+        doc = {}
+        set_path(doc, "a.0", "x")
+        assert doc == {"a": ["x"]}
+
+    def test_set_non_numeric_into_list_rejected(self):
+        doc = {"arr": [1, 2]}
+        with pytest.raises(QueryError):
+            set_path(doc, "arr.k", 1)
+
+    def test_unset_removes(self):
+        doc = {"a": {"b": 1, "c": 2}}
+        assert unset_path(doc, "a.b") is True
+        assert doc == {"a": {"c": 2}}
+
+    def test_unset_missing_false(self):
+        assert unset_path({"a": 1}, "zzz") is False
+
+    def test_unset_list_slot_nulls(self):
+        doc = {"arr": [1, 2, 3]}
+        assert unset_path(doc, "arr.1") is True
+        assert doc["arr"] == [1, None, 3]

@@ -1,0 +1,147 @@
+"""Tests for the $lookup and $addFields aggregation stages."""
+
+import pytest
+
+from repro.docdb.client import DocDBClient
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def db():
+    client = DocDBClient()
+    db = client["upin"]
+    db["paths"].insert_many(
+        [
+            {"_id": "1_0", "server_id": 1, "hop_count": 6},
+            {"_id": "1_1", "server_id": 1, "hop_count": 7},
+        ]
+    )
+    db["paths_stats"].insert_many(
+        [
+            {"_id": "1_0_1", "path_id": "1_0", "lat": 40.0},
+            {"_id": "1_0_2", "path_id": "1_0", "lat": 42.0},
+            {"_id": "1_1_1", "path_id": "1_1", "lat": 50.0},
+        ]
+    )
+    return db
+
+
+class TestLookup:
+    def test_join_paths_with_stats(self, db):
+        out = db["paths"].aggregate(
+            [
+                {
+                    "$lookup": {
+                        "from": db["paths_stats"],
+                        "localField": "_id",
+                        "foreignField": "path_id",
+                        "as": "samples",
+                    }
+                },
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert len(out[0]["samples"]) == 2
+        assert len(out[1]["samples"]) == 1
+        assert out[0]["samples"][0]["lat"] == 40.0
+
+    def test_left_outer_semantics(self, db):
+        db["paths"].insert_one({"_id": "1_2", "server_id": 1, "hop_count": 7})
+        out = db["paths"].aggregate(
+            [
+                {
+                    "$lookup": {
+                        "from": db["paths_stats"],
+                        "localField": "_id",
+                        "foreignField": "path_id",
+                        "as": "samples",
+                    }
+                },
+                {"$match": {"_id": "1_2"}},
+            ]
+        )
+        assert out[0]["samples"] == []
+
+    def test_from_plain_list(self, db):
+        foreign = [{"k": 1, "v": "a"}, {"k": 1, "v": "b"}]
+        out = db["paths"].aggregate(
+            [
+                {"$addFields": {"k": 1}},
+                {
+                    "$lookup": {
+                        "from": foreign,
+                        "localField": "k",
+                        "foreignField": "k",
+                        "as": "joined",
+                    }
+                },
+            ]
+        )
+        assert all(len(d["joined"]) == 2 for d in out)
+
+    def test_lookup_then_group(self, db):
+        """The selection-engine query shape expressed as a pipeline."""
+        out = db["paths"].aggregate(
+            [
+                {
+                    "$lookup": {
+                        "from": db["paths_stats"],
+                        "localField": "_id",
+                        "foreignField": "path_id",
+                        "as": "samples",
+                    }
+                },
+                {"$unwind": "$samples"},
+                {
+                    "$group": {
+                        "_id": "$_id",
+                        "avg_lat": {"$avg": "$samples.lat"},
+                        "n": {"$sum": 1},
+                    }
+                },
+                {"$sort": {"_id": 1}},
+            ]
+        )
+        assert out[0] == {"_id": "1_0", "avg_lat": 41.0, "n": 2}
+        assert out[1] == {"_id": "1_1", "avg_lat": 50.0, "n": 1}
+
+    def test_missing_spec_key_rejected(self, db):
+        with pytest.raises(QueryError):
+            db["paths"].aggregate(
+                [{"$lookup": {"from": [], "localField": "x", "as": "y"}}]
+            )
+
+    def test_join_does_not_mutate_sources(self, db):
+        db["paths"].aggregate(
+            [
+                {
+                    "$lookup": {
+                        "from": db["paths_stats"],
+                        "localField": "_id",
+                        "foreignField": "path_id",
+                        "as": "samples",
+                    }
+                }
+            ]
+        )
+        assert "samples" not in db["paths"].find_one({"_id": "1_0"})
+
+
+class TestAddFields:
+    def test_computed_field(self, db):
+        out = db["paths"].aggregate(
+            [{"$addFields": {"double_hops": "$hop_count"}},
+             {"$sort": {"_id": 1}}]
+        )
+        assert out[0]["double_hops"] == 6
+        assert out[0]["hop_count"] == 6  # original kept
+
+    def test_nested_target_path(self, db):
+        out = db["paths"].aggregate(
+            [{"$addFields": {"meta.src": "$server_id"}}]
+        )
+        assert out[0]["meta"]["src"] == 1
+
+    def test_constant_value(self, db):
+        out = db["paths"].aggregate([{"$addFields": {"tag": "x"}}])
+        assert all(d["tag"] == "x" for d in out)

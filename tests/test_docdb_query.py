@@ -1,0 +1,169 @@
+"""Tests for Mongo-style filter matching (repro.docdb.query)."""
+
+import pytest
+
+from repro.docdb.query import matches
+from repro.errors import QueryError
+
+DOC = {
+    "_id": "2_15",
+    "server_id": 2,
+    "avg_latency_ms": 42.5,
+    "loss_pct": 0.0,
+    "isds": [16, 17, 19],
+    "hops": [
+        {"isd_as": "17-ffaa:1:e01", "ifid": 1},
+        {"isd_as": "16-ffaa:0:1002", "ifid": 2},
+    ],
+    "meta": {"mtu": 1472, "status": "alive"},
+    "note": None,
+}
+
+
+class TestEquality:
+    def test_bare_equality(self):
+        assert matches(DOC, {"server_id": 2})
+        assert not matches(DOC, {"server_id": 3})
+
+    def test_int_float_equality(self):
+        assert matches(DOC, {"server_id": 2.0})
+
+    def test_dotted_path(self):
+        assert matches(DOC, {"meta.status": "alive"})
+
+    def test_array_contains_scalar(self):
+        assert matches(DOC, {"isds": 17})
+        assert not matches(DOC, {"isds": 99})
+
+    def test_whole_array_equality(self):
+        assert matches(DOC, {"isds": [16, 17, 19]})
+        assert not matches(DOC, {"isds": [16, 17]})
+
+    def test_eq_ne(self):
+        assert matches(DOC, {"server_id": {"$eq": 2}})
+        assert matches(DOC, {"server_id": {"$ne": 3}})
+        assert not matches(DOC, {"server_id": {"$ne": 2}})
+
+    def test_none_matching(self):
+        assert matches(DOC, {"note": None})
+
+    def test_empty_filter_matches(self):
+        assert matches(DOC, {})
+
+
+class TestComparisons:
+    def test_gt_gte(self):
+        assert matches(DOC, {"avg_latency_ms": {"$gt": 40}})
+        assert matches(DOC, {"avg_latency_ms": {"$gte": 42.5}})
+        assert not matches(DOC, {"avg_latency_ms": {"$gt": 42.5}})
+
+    def test_lt_lte(self):
+        assert matches(DOC, {"avg_latency_ms": {"$lt": 50}})
+        assert matches(DOC, {"avg_latency_ms": {"$lte": 42.5}})
+
+    def test_range_combined(self):
+        assert matches(DOC, {"avg_latency_ms": {"$gt": 40, "$lt": 45}})
+        assert not matches(DOC, {"avg_latency_ms": {"$gt": 40, "$lt": 42}})
+
+    def test_string_comparison(self):
+        assert matches(DOC, {"meta.status": {"$gte": "alive"}})
+
+    def test_cross_type_comparison_never_matches(self):
+        assert not matches(DOC, {"meta.status": {"$gt": 5}})
+
+    def test_array_element_comparison(self):
+        assert matches(DOC, {"isds": {"$gt": 18}})  # 19 qualifies
+
+
+class TestMembership:
+    def test_in(self):
+        assert matches(DOC, {"server_id": {"$in": [1, 2, 3]}})
+        assert not matches(DOC, {"server_id": {"$in": [4, 5]}})
+
+    def test_nin(self):
+        assert matches(DOC, {"server_id": {"$nin": [4, 5]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"server_id": {"$in": 2}})
+
+
+class TestFieldAndRegex:
+    def test_exists(self):
+        assert matches(DOC, {"meta.mtu": {"$exists": True}})
+        assert matches(DOC, {"nope": {"$exists": False}})
+        assert not matches(DOC, {"nope": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches(DOC, {"_id": {"$regex": r"^2_\d+$"}})
+        assert not matches(DOC, {"_id": {"$regex": r"^3_"}})
+
+    def test_regex_options_case_insensitive(self):
+        assert matches(DOC, {"meta.status": {"$regex": "ALIVE", "$options": "i"}})
+
+    def test_regex_on_non_string_no_match(self):
+        assert not matches(DOC, {"server_id": {"$regex": "2"}})
+
+    def test_mod(self):
+        assert matches(DOC, {"server_id": {"$mod": [2, 0]}})
+        assert not matches(DOC, {"server_id": {"$mod": [2, 1]}})
+
+    def test_mod_bad_operand(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"server_id": {"$mod": [2]}})
+
+
+class TestArrayOperators:
+    def test_size(self):
+        assert matches(DOC, {"isds": {"$size": 3}})
+        assert not matches(DOC, {"isds": {"$size": 2}})
+
+    def test_all(self):
+        assert matches(DOC, {"isds": {"$all": [16, 19]}})
+        assert not matches(DOC, {"isds": {"$all": [16, 99]}})
+
+    def test_elem_match(self):
+        assert matches(DOC, {"hops": {"$elemMatch": {"isd_as": "16-ffaa:0:1002", "ifid": 2}}})
+        assert not matches(
+            DOC, {"hops": {"$elemMatch": {"isd_as": "16-ffaa:0:1002", "ifid": 1}}}
+        )
+
+    def test_elem_match_requires_filter(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"hops": {"$elemMatch": 5}})
+
+
+class TestLogical:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"server_id": 2}, {"loss_pct": 0.0}]})
+        assert not matches(DOC, {"$and": [{"server_id": 2}, {"loss_pct": 1.0}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"server_id": 99}, {"loss_pct": 0.0}]})
+        assert not matches(DOC, {"$or": [{"server_id": 99}, {"loss_pct": 1.0}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"server_id": 99}, {"loss_pct": 1.0}]})
+
+    def test_not_operator(self):
+        assert matches(DOC, {"avg_latency_ms": {"$not": {"$gt": 100}}})
+        assert not matches(DOC, {"avg_latency_ms": {"$not": {"$lt": 100}}})
+
+    def test_implicit_and_of_fields(self):
+        assert matches(DOC, {"server_id": 2, "meta.status": "alive"})
+
+    def test_logical_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$and": {"server_id": 2}})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"server_id": {"$frobnicate": 1}})
+
+    def test_unknown_top_level_operator_rejected(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$xor": []})
+
+    def test_filter_must_be_dict(self):
+        with pytest.raises(QueryError):
+            matches(DOC, ["server_id", 2])

@@ -1,0 +1,245 @@
+"""Tests for persistence (snapshots + journal) and access control."""
+
+import os
+
+import pytest
+
+from repro.crypto.certs import issue_certificate
+from repro.crypto.rsa import keypair_from_seed, sign
+from repro.crypto.trc import TRC, TrustStore
+from repro.docdb.auth import (
+    AccessController,
+    Role,
+    SignedDocumentVerifier,
+    sign_document,
+)
+from repro.docdb.client import DocDBClient
+from repro.docdb.storage import JsonlStore, OperationJournal
+from repro.errors import AuthError, StorageError
+
+
+class TestJsonlStore:
+    def test_roundtrip(self, tmp_path):
+        client = DocDBClient()
+        coll = client["upin"]["paths"]
+        coll.create_index("server_id")
+        coll.insert_many([{"_id": f"1_{i}", "server_id": 1} for i in range(5)])
+        client["upin"]["availableServers"].insert_one({"_id": 1, "ip": "1.2.3.4"})
+        client.save_to(str(tmp_path))
+
+        restored = DocDBClient.load_from(str(tmp_path))
+        again = restored["upin"]["paths"]
+        assert len(again) == 5
+        assert again.list_indexes() == ["server_id"]
+        assert restored["upin"]["availableServers"].find_one({"_id": 1})["ip"] == "1.2.3.4"
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        client = DocDBClient()
+        client["db"]["c"].insert_one({"_id": 1})
+        client.save_to(str(tmp_path))
+        files = os.listdir(tmp_path)
+        assert "db.c.jsonl" in files
+        assert not any(f.endswith(".tmp") for f in files)
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        path = tmp_path / "db.c.jsonl"
+        path.write_text("{not json\n")
+        store = JsonlStore(str(tmp_path))
+        from repro.docdb.database import Database
+
+        with pytest.raises(StorageError):
+            store.load_database(Database("db"))
+
+    def test_list_databases(self, tmp_path):
+        client = DocDBClient()
+        client["a"]["c"].insert_one({"_id": 1})
+        client["b"]["c"].insert_one({"_id": 1})
+        client.save_to(str(tmp_path))
+        assert JsonlStore(str(tmp_path)).list_databases() == ["a", "b"]
+
+
+class TestOperationJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OperationJournal(path) as journal:
+            journal.append("insert", "upin", "c", {"document": {"_id": 1, "v": 1}})
+            journal.append(
+                "insert_many", "upin", "c",
+                {"documents": [{"_id": 2}, {"_id": 3}]},
+            )
+            journal.append(
+                "update", "upin", "c",
+                {"filter": {"_id": 1}, "update": {"$set": {"v": 2}}},
+            )
+            journal.append("delete", "upin", "c", {"filter": {"_id": 3}})
+            journal.flush()
+
+        client = DocDBClient()
+        replayed = OperationJournal.replay(path, client)
+        assert replayed == 4
+        coll = client["upin"]["c"]
+        assert coll.find_one({"_id": 1})["v"] == 2
+        assert coll.find_one({"_id": 2}) is not None
+        assert coll.find_one({"_id": 3}) is None
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "ops.jsonl")
+        with OperationJournal(path) as journal:
+            journal.append("insert", "d", "c", {"document": {"_id": 1}})
+            journal.flush()
+        with open(path, "a") as fh:
+            fh.write('{"op": "insert", "db": "d", "co')  # crash mid-write
+        client = DocDBClient()
+        assert OperationJournal.replay(path, client) == 1
+
+    def test_unknown_op_rejected(self, tmp_path):
+        with OperationJournal(str(tmp_path / "ops.jsonl")) as journal:
+            with pytest.raises(StorageError):
+                journal.append("drop_everything", "d", "c", {})
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert OperationJournal.replay(str(tmp_path / "nope.jsonl"), DocDBClient()) == 0
+
+
+@pytest.fixture(scope="module")
+def pki():
+    core_kp = keypair_from_seed(10, bits=256)
+    leaf_kp = keypair_from_seed(11, bits=256)
+    trc = TRC(isd=17, version=1, core_keys={"17-core": core_kp.public})
+    cert = issue_certificate("17-core", core_kp, "17-ffaa:1:e01", leaf_kp.public)
+    return TrustStore([trc]), core_kp, leaf_kp, cert
+
+
+class TestAccessController:
+    def test_full_flow(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        token = ac.authenticate([cert], sign(leaf_kp, nonce))
+        assert ac.authorize(token.value, Role.WRITE).subject == "17-ffaa:1:e01"
+
+    def test_wrong_key_rejected(self, pki):
+        store, _core, _leaf, cert = pki
+        intruder = keypair_from_seed(99, bits=256)
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        with pytest.raises(AuthError):
+            ac.authenticate([cert], sign(intruder, nonce))
+
+    def test_challenge_single_use(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        ac.authenticate([cert], sign(leaf_kp, nonce))
+        with pytest.raises(AuthError):
+            ac.authenticate([cert], sign(leaf_kp, nonce))
+
+    def test_no_grant_no_token(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        with pytest.raises(AuthError):
+            ac.authenticate([cert], sign(leaf_kp, nonce))
+
+    def test_missing_role_rejected(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.READ)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        token = ac.authenticate([cert], sign(leaf_kp, nonce))
+        with pytest.raises(AuthError):
+            ac.authorize(token.value, Role.WRITE)
+
+    def test_admin_implies_all(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.ADMIN)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        token = ac.authenticate([cert], sign(leaf_kp, nonce))
+        ac.authorize(token.value, Role.WRITE)
+        ac.authorize(token.value, Role.READ)
+
+    def test_token_expiry(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store, token_lifetime_epochs=5)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        token = ac.authenticate([cert], sign(leaf_kp, nonce))
+        ac.advance_epoch(10)
+        with pytest.raises(AuthError):
+            ac.authorize(token.value, Role.WRITE)
+
+    def test_revoke_kills_tokens(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        nonce = ac.challenge("17-ffaa:1:e01")
+        token = ac.authenticate([cert], sign(leaf_kp, nonce))
+        ac.revoke("17-ffaa:1:e01")
+        with pytest.raises(AuthError):
+            ac.authorize(token.value, Role.WRITE)
+
+    def test_unknown_token(self, pki):
+        store, *_ = pki
+        with pytest.raises(AuthError):
+            AccessController(store).authorize("fake", Role.READ)
+
+    def test_no_challenge_outstanding(self, pki):
+        store, _core, leaf_kp, cert = pki
+        ac = AccessController(store)
+        ac.grant("17-ffaa:1:e01", Role.WRITE)
+        with pytest.raises(AuthError):
+            ac.authenticate([cert], 123)
+
+
+class TestSignedDocuments:
+    def test_sign_and_verify(self):
+        kp = keypair_from_seed(20, bits=256)
+        verifier = SignedDocumentVerifier()
+        verifier.register_writer("me", kp.public)
+        doc = sign_document({"_id": 1, "v": 42}, "me", kp)
+        verifier(doc)  # does not raise
+
+    def test_tampering_detected(self):
+        kp = keypair_from_seed(20, bits=256)
+        verifier = SignedDocumentVerifier()
+        verifier.register_writer("me", kp.public)
+        doc = sign_document({"_id": 1, "v": 42}, "me", kp)
+        doc["v"] = 43
+        with pytest.raises(AuthError):
+            verifier(doc)
+
+    def test_unsigned_rejected(self):
+        verifier = SignedDocumentVerifier()
+        with pytest.raises(AuthError):
+            verifier({"_id": 1})
+
+    def test_unknown_writer_rejected(self):
+        kp = keypair_from_seed(20, bits=256)
+        verifier = SignedDocumentVerifier()
+        doc = sign_document({"_id": 1}, "stranger", kp)
+        with pytest.raises(AuthError):
+            verifier(doc)
+
+    def test_collection_validator_integration(self):
+        kp = keypair_from_seed(20, bits=256)
+        verifier = SignedDocumentVerifier()
+        verifier.register_writer("suite", kp.public)
+        client = DocDBClient()
+        coll = client["upin"]["paths_stats"]
+        coll.validator = verifier
+        coll.insert_one(sign_document({"_id": "2_15_1", "lat": 42.0}, "suite", kp))
+        with pytest.raises(AuthError):
+            coll.insert_one({"_id": "2_15_2", "lat": 41.0})
+        assert len(coll) == 1
+
+    def test_resigning_replaces_signature(self):
+        kp = keypair_from_seed(20, bits=256)
+        doc = sign_document({"_id": 1, "v": 1}, "me", kp)
+        doc2 = sign_document({**doc, "v": 2}, "me", kp)
+        verifier = SignedDocumentVerifier()
+        verifier.register_writer("me", kp.public)
+        verifier(doc2)

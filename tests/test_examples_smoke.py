@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs in-process via runpy with stdout captured.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("quickstart.py", [], "Done. Everything above is deterministic"),
+    ("attach_user_as.py", [], "certificate chain verifies"),
+    ("sovereignty_routing.py", [], "Recommendation menu"),
+    ("upin_frontend_demo.py", [], "Installed flows"),
+    ("fault_injection.py", [], "campaign completed despite everything"),
+    ("measurement_campaign.py", ["2"], "campaign:"),
+    ("continuous_monitoring.py", [], "retention: pruned"),
+]
+
+
+@pytest.mark.parametrize("script,argv,expected", EXAMPLES,
+                         ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, argv, expected, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(f"examples/{script}", run_name="__main__")
+    out = capsys.readouterr().out
+    assert expected.lower() in out.lower()

@@ -1,0 +1,71 @@
+"""Tests for the multi-user contention experiment."""
+
+import pytest
+
+from repro.experiments import multiuser
+from repro.experiments.multiuser import jain_index
+from repro.experiments.world import run_campaign
+
+
+@pytest.fixture(scope="module")
+def result():
+    world = run_campaign([3], iterations=2, seed=20231112)
+    return multiuser.run(user_counts=(1, 2, 4, 8), world=world)
+
+
+class TestJainIndex:
+    def test_equal_shares(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_user(self):
+        assert jain_index([7]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        # One user hogs everything among N: index -> 1/N.
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+
+class TestContention:
+    def test_per_user_goodput_decreases_with_users(self, result):
+        for policy in ("selfish", "spread"):
+            means = [result.point(n, policy).mean_mbps for n in (1, 2, 4, 8)]
+            assert means[0] > means[-1]
+            assert means[2] > means[3]  # still falling at the tail
+
+    def test_aggregate_saturates_below_access_capacity(self, result):
+        """Aggregate goodput never exceeds the 40 Mbps access downlink."""
+        for p in result.points:
+            assert p.aggregate_mbps < 40.0
+
+    def test_single_user_near_target(self, result):
+        assert result.point(1, "selfish").mean_mbps > 7.0
+
+    def test_spreading_roughly_no_worse_than_selfish(self, result):
+        """Spreading never loses much; depending on how distinct the
+        ranked paths are it can win substantially (interior contention)."""
+        for users in (4, 8):
+            selfish = result.point(users, "selfish")
+            spread = result.point(users, "spread")
+            assert spread.aggregate_mbps >= 0.8 * selfish.aggregate_mbps
+            assert spread.fairness >= selfish.fairness - 0.1
+
+    def test_fairness_degrades_under_heavy_contention(self, result):
+        assert result.point(8, "selfish").fairness < 0.6
+
+    def test_uncontended_cases_fair(self, result):
+        for policy in ("selfish", "spread"):
+            assert result.point(1, policy).fairness == pytest.approx(1.0)
+            assert result.point(2, policy).fairness > 0.95
+
+    def test_format_text(self, result):
+        text = result.format_text()
+        assert "Multi-user contention" in text
+        assert "Jain" in text
+
+    def test_rows_cover_all_points(self, result):
+        assert len(result.rows()) == 8
+        assert result.point(3, "selfish") is None

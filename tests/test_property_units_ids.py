@@ -1,0 +1,98 @@
+"""Property-based tests: value objects and identifiers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.isd_as import ISDAS
+from repro.util.geo import GeoPoint, haversine_km, propagation_delay_ms
+from repro.util.rng import derive_seed
+from repro.util.units import (
+    Bandwidth,
+    Duration,
+    format_bandwidth,
+    format_duration,
+    parse_bandwidth,
+    parse_duration,
+)
+
+bandwidths = st.floats(min_value=1.0, max_value=1e12, allow_nan=False)
+durations = st.floats(min_value=1e-6, max_value=1e5, allow_nan=False)
+isd_numbers = st.integers(min_value=0, max_value=0xFFFF)
+as_numbers = st.integers(min_value=0, max_value=(1 << 48) - 1)
+lats = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lons = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestUnitsProperties:
+    @given(bandwidths)
+    def test_bandwidth_format_parse_roundtrip(self, bps):
+        original = Bandwidth(bps)
+        parsed = parse_bandwidth(format_bandwidth(original, digits=6))
+        assert abs(parsed.bps - original.bps) <= max(1.0, 1e-5 * original.bps)
+
+    @given(durations)
+    def test_duration_format_parse_roundtrip(self, seconds):
+        original = Duration(seconds)
+        parsed = parse_duration(format_duration(original, digits=9))
+        assert abs(parsed.seconds - original.seconds) <= max(
+            1e-9, 1e-6 * original.seconds
+        )
+
+    @given(bandwidths, bandwidths)
+    def test_bandwidth_order_consistent_with_bps(self, a, b):
+        assert (Bandwidth(a) < Bandwidth(b)) == (a < b)
+
+    @given(bandwidths, st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_scaling_linear(self, bps, factor):
+        assert (factor * Bandwidth(bps)).bps == bps * factor
+
+
+class TestIsdAsProperties:
+    @given(isd_numbers, as_numbers)
+    def test_roundtrip_all_values(self, isd, asn):
+        ia = ISDAS(isd=isd, asn=asn)
+        assert ISDAS.parse(str(ia)) == ia
+
+    @given(
+        isd_numbers,
+        as_numbers,
+        st.lists(
+            st.integers(min_value=0, max_value=255), min_size=4, max_size=4
+        ).map(lambda octets: ".".join(str(o) for o in octets)),
+    )
+    def test_address_roundtrip(self, isd, asn, ip):
+        ia = ISDAS(isd=isd, asn=asn)
+        parsed_ia, parsed_ip = ISDAS.parse_address(ia.address(ip))
+        assert parsed_ia == ia and parsed_ip == ip
+
+    @given(st.lists(st.tuples(isd_numbers, as_numbers), min_size=1, max_size=20))
+    def test_sort_order_total(self, pairs):
+        items = [ISDAS(isd=i, asn=a) for i, a in pairs]
+        ordered = sorted(items)
+        assert sorted(ordered, key=lambda x: (x.isd, x.asn)) == ordered
+
+
+class TestGeoProperties:
+    @given(lats, lons, lats, lons)
+    def test_haversine_symmetric_nonnegative(self, lat1, lon1, lat2, lon2):
+        a, b = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2)
+        assert haversine_km(a, b) >= 0
+        assert abs(haversine_km(a, b) - haversine_km(b, a)) < 1e-6
+
+    @given(lats, lons, lats, lons)
+    def test_distance_bounded_by_half_circumference(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert d <= 20_037.6  # pi * R
+
+    @given(lats, lons, lats, lons)
+    def test_propagation_delay_has_floor(self, lat1, lon1, lat2, lon2):
+        delay = propagation_delay_ms(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert delay >= 0.05
+
+
+class TestSeedProperties:
+    @given(st.integers(), st.text(max_size=50))
+    def test_derive_seed_in_range_and_stable(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2**64
+        assert seed == derive_seed(root, name)

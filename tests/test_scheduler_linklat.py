@@ -1,0 +1,122 @@
+"""Tests for the monitoring scheduler and per-link latency attribution."""
+
+import pytest
+
+from repro.analysis.linklat import (
+    attribute_link_latency,
+    dominant_links,
+    format_attribution,
+)
+from repro.docdb.client import DocDBClient
+from repro.errors import ValidationError
+from repro.scion.snet import ScionHost
+from repro.suite.cli import seed_servers
+from repro.suite.config import STATS_COLLECTION, SuiteConfig
+from repro.suite.scheduler import MonitoringScheduler
+
+
+@pytest.fixture()
+def env():
+    client = DocDBClient()
+    db = client["upin"]
+    seed_servers(db)
+    host = ScionHost.scionlab(seed=4)
+    config = SuiteConfig(iterations=1, destination_ids=[3])
+    return host, db, config
+
+
+class TestMonitoringScheduler:
+    def test_rounds_accumulate_samples(self, env):
+        host, db, config = env
+        scheduler = MonitoringScheduler(host, db, config, period_s=600.0)
+        report = scheduler.run(rounds=3)
+        assert len(report.rounds) == 3
+        assert report.stats_stored == 3 * 6  # 6 Magdeburg paths per round
+        assert db[STATS_COLLECTION].count_documents() == 18
+
+    def test_rounds_start_on_period_boundaries(self, env):
+        host, db, config = env
+        scheduler = MonitoringScheduler(host, db, config, period_s=600.0)
+        report = scheduler.run(rounds=3)
+        starts = [r.started_at_s for r in report.rounds]
+        # Collection happens inside round 0, so boundaries are exact.
+        assert starts[1] - starts[0] == pytest.approx(600.0)
+        assert starts[2] - starts[1] == pytest.approx(600.0)
+        assert report.overrun_rounds == 0
+
+    def test_overrun_rounds_run_back_to_back(self, env):
+        host, db, config = env
+        # A 6-path round needs 90 simulated seconds; the period is 10.
+        scheduler = MonitoringScheduler(host, db, config, period_s=10.0)
+        report = scheduler.run(rounds=3)
+        assert report.overrun_rounds == 2
+        for prev, nxt in zip(report.rounds, report.rounds[1:]):
+            assert nxt.started_at_s == pytest.approx(prev.finished_at_s)
+
+    def test_recollection_cadence(self, env):
+        host, db, config = env
+        scheduler = MonitoringScheduler(
+            host, db, config, period_s=600.0, recollect_every=2
+        )
+        report = scheduler.run(rounds=4)
+        assert [r.recollected for r in report.rounds] == [True, False, True, False]
+
+    def test_timestamps_partition_by_round(self, env):
+        host, db, config = env
+        scheduler = MonitoringScheduler(host, db, config, period_s=600.0)
+        report = scheduler.run(rounds=2)
+        r0, r1 = report.rounds
+        docs = db[STATS_COLLECTION].find()
+        in_r0 = [d for d in docs if d["timestamp_ms"] < r1.started_at_s * 1000]
+        assert len(in_r0) == r0.stats_stored
+
+    def test_validation(self, env):
+        host, db, config = env
+        with pytest.raises(ValidationError):
+            MonitoringScheduler(host, db, config, period_s=0.0)
+        with pytest.raises(ValidationError):
+            MonitoringScheduler(host, db, config, period_s=1.0, recollect_every=0)
+        scheduler = MonitoringScheduler(host, db, config, period_s=1.0)
+        with pytest.raises(ValidationError):
+            scheduler.run(rounds=0)
+
+
+class TestLinkLatencyAttribution:
+    @pytest.fixture(scope="class")
+    def host(self):
+        return ScionHost.scionlab(seed=6)
+
+    def test_detour_links_dominate(self, host):
+        """The Frankfurt->Singapore / Frankfurt->Ohio hauls must rank top,
+        which is §6.1's per-link localisation of the Fig 5 layers."""
+        paths = host.paths("16-ffaa:0:1002", max_paths=None)
+        kept = [p for p in paths if p.hop_count <= paths[0].hop_count + 1]
+        attribution = attribute_link_latency(host, kept)
+        top = dominant_links(attribution, top_k=4)
+        top_keys = " | ".join(l.link_key for l in top)
+        assert "16-ffaa:0:1007" in top_keys  # Singapore haul
+        assert "16-ffaa:0:1004" in top_keys  # Ohio haul
+
+    def test_every_traversed_link_attributed(self, host):
+        paths = host.paths("19-ffaa:0:1303", max_paths=2)
+        attribution = attribute_link_latency(host, paths)
+        expected_links = set()
+        for p in paths:
+            ases = [str(a) for a in p.ases()]
+            expected_links.update(f"{a} -> {b}" for a, b in zip(ases, ases[1:]))
+        assert {l.link_key for l in attribution} == expected_links
+
+    def test_increments_nonnegative_and_counted(self, host):
+        paths = host.paths("19-ffaa:0:1303", max_paths=3)
+        attribution = attribute_link_latency(host, paths, labels=["a", "b", "c"])
+        for link in attribution:
+            assert link.mean_increment_ms >= 0
+            assert link.max_increment_ms >= link.mean_increment_ms - 1e-9
+            assert 1 <= link.samples <= 3
+            assert link.paths and set(link.paths) <= {"a", "b", "c"}
+
+    def test_format_attribution(self, host):
+        paths = host.paths("19-ffaa:0:1303", max_paths=1)
+        text = format_attribution(attribute_link_latency(host, paths))
+        assert "Per-link latency attribution" in text
+        assert "->" in text

@@ -1,0 +1,239 @@
+"""Tests for segments, beaconing, paths and the combinator (repro.scion)."""
+
+import pytest
+
+from repro.errors import NoPathError, ValidationError
+from repro.scion.beaconing import Beaconer
+from repro.scion.combinator import combine_paths
+from repro.scion.path import Path, PathHop
+from repro.scion.segments import ASEntry, PathSegment, SegmentKind
+from repro.topology.isd_as import ISDAS
+
+from tests.helpers import build_tiny_world
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_tiny_world()
+
+
+@pytest.fixture(scope="module")
+def beaconer(topo):
+    return Beaconer(topo)
+
+
+def _entry(ia, ingress, egress):
+    return ASEntry(isd_as=ISDAS.parse(ia), ingress=ingress, egress=egress)
+
+
+class TestSegments:
+    def test_valid_segment(self):
+        seg = PathSegment(
+            kind=SegmentKind.UP,
+            entries=(
+                _entry("1-ffaa:1:1", None, 1),
+                _entry("1-ffaa:0:3", 6, 1),
+                _entry("1-ffaa:0:1", 3, None),
+            ),
+        )
+        assert seg.first_as == ISDAS.parse("1-ffaa:1:1")
+        assert seg.last_as == ISDAS.parse("1-ffaa:0:1")
+        assert seg.n_links == 2
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValidationError):
+            PathSegment(kind=SegmentKind.UP, entries=())
+
+    def test_terminal_interfaces_enforced(self):
+        with pytest.raises(ValidationError):
+            PathSegment(
+                kind=SegmentKind.UP,
+                entries=(_entry("1-ffaa:1:1", 5, 1), _entry("1-ffaa:0:3", 6, None)),
+            )
+
+    def test_interior_interfaces_required(self):
+        with pytest.raises(ValidationError):
+            PathSegment(
+                kind=SegmentKind.UP,
+                entries=(
+                    _entry("1-ffaa:1:1", None, None),
+                    _entry("1-ffaa:0:3", 6, None),
+                ),
+            )
+
+    def test_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            PathSegment(
+                kind=SegmentKind.UP,
+                entries=(
+                    _entry("1-ffaa:1:1", None, 1),
+                    _entry("1-ffaa:1:1", 2, None),
+                ),
+            )
+
+    def test_reversal_flips_kind_and_interfaces(self):
+        seg = PathSegment(
+            kind=SegmentKind.UP,
+            entries=(
+                _entry("1-ffaa:1:1", None, 1),
+                _entry("1-ffaa:0:3", 6, None),
+            ),
+        )
+        rev = seg.reversed()
+        assert rev.kind is SegmentKind.DOWN
+        assert rev.first_as == ISDAS.parse("1-ffaa:0:3")
+        assert rev.entries[0].egress == 6
+        assert rev.entries[-1].ingress == 1
+        # Reversing twice restores the original.
+        assert seg.reversed().reversed(SegmentKind.UP) == seg
+
+
+class TestBeaconing:
+    def test_user_up_segments(self, beaconer):
+        ups = beaconer.up_segments("1-ffaa:1:1")
+        # user -> ap -> core1a and user -> ap -> core1b.
+        assert len(ups) == 2
+        cores = sorted(str(seg.last_as) for seg in ups)
+        assert cores == ["1-ffaa:0:1", "1-ffaa:0:2"]
+        assert all(str(seg.first_as) == "1-ffaa:1:1" for seg in ups)
+
+    def test_core_as_has_trivial_up_segment(self, beaconer):
+        ups = beaconer.up_segments("1-ffaa:0:1")
+        assert len(ups) == 1
+        assert ups[0].n_links == 0
+
+    def test_down_segments_are_reversed_ups(self, beaconer):
+        downs = beaconer.down_segments("2-ffaa:0:2")
+        assert len(downs) == 1
+        assert downs[0].kind is SegmentKind.DOWN
+        assert str(downs[0].first_as) == "2-ffaa:0:1"
+        assert str(downs[0].last_as) == "2-ffaa:0:2"
+
+    def test_core_segments_same_as(self, beaconer):
+        segs = beaconer.core_segments("1-ffaa:0:1", "1-ffaa:0:1")
+        assert len(segs) == 1 and segs[0].n_links == 0
+
+    def test_core_segments_direct_and_detour(self, beaconer):
+        segs = beaconer.core_segments("1-ffaa:0:1", "2-ffaa:0:1")
+        lengths = sorted(seg.n_links for seg in segs)
+        assert lengths == [1, 2]  # direct, and via core1b
+
+    def test_core_segments_from_non_core_empty(self, beaconer):
+        assert beaconer.core_segments("1-ffaa:1:1", "2-ffaa:0:1") == ()
+
+    def test_length_bound_respected(self, topo):
+        tight = Beaconer(topo, max_core_links=1)
+        segs = tight.core_segments("1-ffaa:0:1", "2-ffaa:0:1")
+        assert [seg.n_links for seg in segs] == [1]
+
+    def test_caching_and_invalidate(self, topo):
+        b = Beaconer(topo)
+        first = b.up_segments("1-ffaa:1:1")
+        assert b.up_segments("1-ffaa:1:1") is first
+        b.invalidate()
+        assert b.up_segments("1-ffaa:1:1") is not first
+
+
+class TestPath:
+    @pytest.fixture(scope="class")
+    def path(self, beaconer):
+        return combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2")[0]
+
+    def test_endpoints(self, path):
+        assert str(path.src) == "1-ffaa:1:1"
+        assert str(path.dst) == "2-ffaa:0:2"
+
+    def test_hop_count(self, path):
+        # user, ap, core1x, core2, leaf
+        assert path.hop_count == 5
+
+    def test_isd_set(self, path):
+        assert path.isd_set() == frozenset({1, 2})
+
+    def test_sequence_and_display(self, path):
+        seq = path.sequence()
+        assert seq.count("#") == path.hop_count
+        display = path.hops_display()
+        assert display.startswith("1-ffaa:1:1 ")
+        assert ">" in display
+
+    def test_fingerprint_stable(self, path):
+        assert path.fingerprint() == path.fingerprint()
+        assert len(path.fingerprint()) == 16
+
+    def test_traversals_resolve(self, path, topo):
+        steps = path.traversals(topo)
+        assert len(steps) == path.n_links
+        assert steps[0].sender == path.src
+
+    def test_static_latency_positive(self, path, topo):
+        assert path.static_latency_ms(topo) > 5.0
+
+    def test_resolve_mtu(self, path, topo):
+        assert path.resolve_mtu(topo) == 1472
+
+    def test_transits(self, path):
+        assert path.transits("1-ffaa:0:3")
+        assert not path.transits("9-0:0:9")
+
+    def test_loop_path_rejected(self):
+        hops = (
+            PathHop(isd_as=ISDAS.parse("1-0:0:1"), ingress=None, egress=1),
+            PathHop(isd_as=ISDAS.parse("1-0:0:2"), ingress=1, egress=2),
+            PathHop(isd_as=ISDAS.parse("1-0:0:1"), ingress=2, egress=None),
+        )
+        with pytest.raises(ValidationError):
+            Path(src=ISDAS.parse("1-0:0:1"), dst=ISDAS.parse("1-0:0:1"), hops=hops)
+
+    def test_endpoint_mismatch_rejected(self):
+        hops = (
+            PathHop(isd_as=ISDAS.parse("1-0:0:1"), ingress=None, egress=1),
+            PathHop(isd_as=ISDAS.parse("1-0:0:2"), ingress=1, egress=None),
+        )
+        with pytest.raises(ValidationError):
+            Path(src=ISDAS.parse("1-0:0:9"), dst=ISDAS.parse("1-0:0:2"), hops=hops)
+
+
+class TestCombinator:
+    def test_paths_ranked_by_hop_count(self, beaconer):
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2")
+        counts = [p.hop_count for p in paths]
+        assert counts == sorted(counts)
+
+    def test_no_duplicate_sequences(self, beaconer):
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2")
+        sequences = [p.sequence() for p in paths]
+        assert len(sequences) == len(set(sequences))
+
+    def test_expected_path_count_to_leaf(self, beaconer):
+        # 2 ups x {direct, via-other-core} cores x 1 down, all loop-free:
+        # up(core1a): core1a->core2 direct + core1a->core1b->core2 = 2
+        # up(core1b): symmetric = 2  -> 4 total.
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2")
+        assert len(paths) == 4
+
+    def test_loop_free(self, beaconer):
+        for p in combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2"):
+            ases = p.ases()
+            assert len(ases) == len(set(ases))
+
+    def test_destination_is_core(self, beaconer):
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:1")
+        assert min(p.hop_count for p in paths) == 4
+        assert all(str(p.dst) == "2-ffaa:0:1" for p in paths)
+
+    def test_destination_is_own_core(self, beaconer):
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "1-ffaa:0:1")
+        assert min(p.hop_count for p in paths) == 3
+
+    def test_same_src_dst_rejected(self, beaconer):
+        with pytest.raises(NoPathError):
+            combine_paths(beaconer, "1-ffaa:1:1", "1-ffaa:1:1")
+
+    def test_max_paths_truncates(self, beaconer):
+        paths = combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2", max_paths=2)
+        assert len(paths) == 2
+
+    def test_mtu_resolved_on_combined_paths(self, beaconer):
+        for p in combine_paths(beaconer, "1-ffaa:1:1", "2-ffaa:0:2"):
+            assert p.mtu == 1472

@@ -1,0 +1,127 @@
+"""Tests for SCION shortcut paths (common-AS and peering)."""
+
+import pytest
+
+from repro.scion.beaconing import Beaconer
+from repro.scion.combinator import combine_paths
+from repro.scion.snet import ScionHost
+from repro.topology.builder import TopologyBuilder
+from repro.topology.entities import ASRole
+from repro.topology.scionlab import build_scionlab_world
+
+
+def build_shortcut_world():
+    """core -> {ap} -> {leafA, leafB}, leafA ~peer~ leafC under core."""
+    b = TopologyBuilder()
+    b.add_as("1-0:0:1", "core", role=ASRole.CORE, lat=47, lon=8,
+             country="CH", operator="Op")
+    b.add_as("1-0:0:2", "ap", role=ASRole.ATTACHMENT_POINT, lat=47, lon=9,
+             country="CH", operator="Op")
+    b.add_as("1-0:0:3", "leafA", role=ASRole.NON_CORE, lat=47, lon=10,
+             country="CH", operator="Op")
+    b.add_as("1-0:0:4", "leafB", role=ASRole.NON_CORE, lat=47, lon=11,
+             country="CH", operator="Op")
+    b.add_as("1-0:0:5", "leafC", role=ASRole.NON_CORE, lat=46, lon=8,
+             country="CH", operator="Op")
+    b.parent_link("1-0:0:1", "1-0:0:2")
+    b.parent_link("1-0:0:2", "1-0:0:3")
+    b.parent_link("1-0:0:2", "1-0:0:4")
+    b.parent_link("1-0:0:1", "1-0:0:5")
+    b.peer_link("1-0:0:3", "1-0:0:5")
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def beaconer():
+    return Beaconer(build_shortcut_world())
+
+
+class TestCommonAsShortcut:
+    def test_siblings_route_via_shared_ap(self, beaconer):
+        """leafA -> leafB can cross at the AP without touching the core."""
+        paths = combine_paths(beaconer, "1-0:0:3", "1-0:0:4")
+        best = paths[0]
+        assert best.hop_count == 3
+        assert [str(a) for a in best.ases()] == ["1-0:0:3", "1-0:0:2", "1-0:0:4"]
+
+    def test_siblings_unreachable_without_shortcuts(self, beaconer):
+        """The up+core+down combination would revisit the AP (a loop),
+        so shortcuts are the ONLY way siblings talk — the very reason
+        SCION defines them."""
+        from repro.errors import NoPathError
+
+        with pytest.raises(NoPathError):
+            combine_paths(beaconer, "1-0:0:3", "1-0:0:4", use_shortcuts=False)
+
+    def test_shortcut_has_two_segments(self, beaconer):
+        best = combine_paths(beaconer, "1-0:0:3", "1-0:0:4")[0]
+        assert best.n_segments == 2
+
+    def test_core_route_listed_for_cross_branch(self, beaconer):
+        """leafA -> leafC (different branches): both the 2-hop peering
+        shortcut and the 4-hop core route exist."""
+        paths = combine_paths(beaconer, "1-0:0:3", "1-0:0:5")
+        assert any(p.transits("1-0:0:1") for p in paths)
+
+    def test_disable_shortcuts_cross_branch(self, beaconer):
+        paths = combine_paths(beaconer, "1-0:0:3", "1-0:0:5", use_shortcuts=False)
+        assert all(p.transits("1-0:0:1") for p in paths)
+        assert paths[0].hop_count == 4
+
+
+class TestPeeringShortcut:
+    def test_peer_link_used_directly(self, beaconer):
+        paths = combine_paths(beaconer, "1-0:0:3", "1-0:0:5")
+        best = paths[0]
+        assert best.hop_count == 2
+        assert [str(a) for a in best.ases()] == ["1-0:0:3", "1-0:0:5"]
+
+    def test_peer_shortcut_traversals_resolve(self, beaconer):
+        best = combine_paths(beaconer, "1-0:0:3", "1-0:0:5")[0]
+        steps = best.traversals(beaconer.topology)
+        assert len(steps) == 1
+        assert steps[0].link.kind.value == "peer"
+
+    def test_reverse_direction_also_works(self, beaconer):
+        best = combine_paths(beaconer, "1-0:0:5", "1-0:0:3")[0]
+        assert best.hop_count == 2
+
+    def test_non_peered_pairs_unaffected(self, beaconer):
+        paths = combine_paths(beaconer, "1-0:0:4", "1-0:0:5")
+        assert paths[0].hop_count == 4  # leafB has no peer link
+
+
+class TestShortcutsInScionlabWorld:
+    def test_columbia_uw_peering(self):
+        """The world's ISD-18 peer link yields a 2-hop lateral path."""
+        topo = build_scionlab_world()
+        host = ScionHost(topo, "18-ffaa:0:1203")
+        paths = host.paths("18-ffaa:0:1204", max_paths=None)
+        assert paths[0].hop_count == 2
+        assert paths[0].traversals(topo)[0].link.kind.value == "peer"
+        # The common-AS shortcut through CMU-AP is second.
+        assert paths[1].hop_count == 3
+        assert paths[1].transits("18-ffaa:0:1202")
+
+    def test_my_as_paths_untouched_by_peering(self):
+        """MY_AS's measured path sets (and thus the figures) must not
+        change when shortcuts are enabled — its segments never touch
+        the peered leaves."""
+        topo = build_scionlab_world()
+        host = ScionHost(topo, "17-ffaa:1:e01")
+        with_shortcuts = host.daemon.paths("16-ffaa:0:1002", max_paths=None)
+        beaconer = Beaconer(topo)
+        without = combine_paths(
+            beaconer, "17-ffaa:1:e01", "16-ffaa:0:1002", use_shortcuts=False
+        )
+        assert [p.sequence() for p in with_shortcuts] == [
+            p.sequence() for p in without
+        ]
+
+    def test_ping_over_peering_shortcut(self):
+        topo = build_scionlab_world()
+        host = ScionHost(topo, "18-ffaa:0:1203")
+        stats = host.ping("18-ffaa:0:1204", "10.18.4.1", count=5, interval_s=0.01)
+        assert stats.received >= 4
+        # NYC <-> Madison direct: far below any route through Pittsburgh+.
+        assert stats.avg_ms < 40

@@ -1,0 +1,136 @@
+"""Tests for path collection and suite configuration."""
+
+import pytest
+
+from repro.docdb.client import DocDBClient
+from repro.errors import ValidationError
+from repro.scion.snet import ScionHost
+from repro.suite.cli import seed_servers
+from repro.suite.collect import PathsCollector, path_document_id
+from repro.suite.config import PATHS_COLLECTION, SERVERS_COLLECTION, SuiteConfig
+
+
+@pytest.fixture()
+def env():
+    client = DocDBClient()
+    db = client["upin"]
+    seed_servers(db)
+    host = ScionHost.scionlab(seed=1)
+    return host, db
+
+
+class TestSuiteConfig:
+    def test_defaults_match_paper_commands(self):
+        config = SuiteConfig()
+        assert config.ping_count == 30
+        assert config.ping_interval == "0.1s"
+        assert config.showpaths_max == 40
+        assert config.hop_slack == 1
+        assert config.bw_params(64) == "3,64,?,12Mbps"
+        assert config.bw_params("MTU") == "3,MTU,?,12Mbps"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SuiteConfig(iterations=-1)
+        with pytest.raises(ValidationError):
+            SuiteConfig(hop_slack=-1)
+        with pytest.raises(ValidationError):
+            SuiteConfig(ping_count=0)
+        with pytest.raises(ValidationError):
+            SuiteConfig(bw_duration_s=0)
+
+    def test_path_document_id_scheme(self):
+        assert path_document_id(2, 15) == "2_15"
+
+
+class TestDestinationSelection:
+    def test_all_by_default(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig())
+        assert len(collector.destinations()) == 21
+
+    def test_some_only_first_destination(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig(some_only=True))
+        dests = collector.destinations()
+        assert len(dests) == 1 and dests[0]["_id"] == 1
+
+    def test_explicit_ids(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig(destination_ids=[3, 5]))
+        assert [d["_id"] for d in collector.destinations()] == [3, 5]
+
+
+class TestCollection:
+    def test_collect_one_filters_min_plus_one(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig())
+        docs = collector.collect_one(1, "16-ffaa:0:1002")
+        hop_counts = [d["hop_count"] for d in docs]
+        assert min(hop_counts) == 6
+        assert max(hop_counts) == 7
+        assert len(docs) == 22
+
+    def test_documents_have_paper_schema(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig())
+        docs = collector.collect_one(3, "19-ffaa:0:1303")
+        doc = docs[0]
+        assert doc["_id"] == "3_0"
+        assert doc["server_id"] == 3
+        assert doc["sequence"].count("#") == doc["hop_count"]
+        assert doc["mtu"] == 1472
+        assert doc["isds"] == sorted(doc["isds"])
+        assert len(doc["ases"]) == doc["hop_count"]
+
+    def test_collect_all_populates_collection(self, env):
+        host, db = env
+        config = SuiteConfig(destination_ids=[1, 3])
+        report = PathsCollector(host, db, config).collect()
+        assert report.destinations == 2
+        assert report.paths_stored == 28  # 22 Ireland + 6 Magdeburg
+        assert db[PATHS_COLLECTION].count_documents() == 28
+
+    def test_recollection_idempotent(self, env):
+        host, db = env
+        config = SuiteConfig(destination_ids=[3])
+        collector = PathsCollector(host, db, config)
+        collector.collect()
+        report = collector.collect()
+        assert report.paths_stored == 6
+        assert report.paths_deleted == 0
+        assert db[PATHS_COLLECTION].count_documents() == 6
+
+    def test_stale_paths_deleted(self, env):
+        host, db = env
+        config = SuiteConfig(destination_ids=[3])
+        collector = PathsCollector(host, db, config)
+        collector.collect()
+        # Simulate a path that disappeared from the network.
+        db[PATHS_COLLECTION].insert_one(
+            {"_id": "3_99", "server_id": 3, "path_index": 99, "hop_count": 5,
+             "isds": [17], "ases": [], "sequence": "", "hops_display": "",
+             "mtu": 1472, "dst_isd_as": "19-ffaa:0:1303",
+             "fingerprint": "x", "latency_hint_ms": None}
+        )
+        report = collector.collect()
+        assert report.paths_deleted == 1
+        assert db[PATHS_COLLECTION].find_one({"_id": "3_99"}) is None
+
+    def test_hop_slack_zero_keeps_only_min(self, env):
+        host, db = env
+        collector = PathsCollector(host, db, SuiteConfig(hop_slack=0))
+        docs = collector.collect_one(1, "16-ffaa:0:1002")
+        assert {d["hop_count"] for d in docs} == {6}
+
+    def test_failure_recorded_and_campaign_continues(self, env):
+        host, db = env
+        db[SERVERS_COLLECTION].insert_one(
+            {"_id": 99, "isd_as": "17-ffaa:1:e01", "ip": "127.0.0.1",
+             "address": "17-ffaa:1:e01,[127.0.0.1]"}
+        )
+        config = SuiteConfig(destination_ids=[3, 99])
+        report = PathsCollector(host, db, config).collect()
+        # Destination 99 is ourselves -> no path; 3 still collected.
+        assert 99 in report.failures
+        assert report.paths_stored == 6

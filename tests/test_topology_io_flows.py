@@ -1,0 +1,145 @@
+"""Tests for topology serialization and concurrent-flow accounting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netsim.config import NetworkConfig
+from repro.netsim.network import NetworkSim
+from repro.netsim.packet import PacketSpec
+from repro.topology.io import (
+    load_topology,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topology.scionlab import build_scionlab_world
+
+from tests.helpers import build_tiny_world
+
+
+class TestTopologyIO:
+    def test_roundtrip_tiny_world(self):
+        topo = build_tiny_world()
+        again = topology_from_dict(topology_to_dict(topo))
+        assert len(again) == len(topo)
+        assert len(again.links()) == len(topo.links())
+        assert again.as_of("1-ffaa:0:1").name == "core1a"
+
+    def test_roundtrip_scionlab_world(self):
+        topo = build_scionlab_world()
+        again = topology_from_dict(topology_to_dict(topo))
+        assert len(again) == 36
+        # Link identity (interfaces + capacities) must survive.
+        orig = {l.key(): l for l in topo.links()}
+        back = {l.key(): l for l in again.links()}
+        assert orig.keys() == back.keys()
+        for key, link in orig.items():
+            assert back[key].capacity_ab_mbps == link.capacity_ab_mbps
+            assert back[key].kind == link.kind
+
+    def test_roundtripped_world_produces_same_paths(self):
+        from repro.scion.snet import ScionHost
+
+        topo = build_scionlab_world()
+        again = topology_from_dict(topology_to_dict(topo))
+        a = ScionHost(topo, "17-ffaa:1:e01").paths("16-ffaa:0:1002", max_paths=None)
+        b = ScionHost(again, "17-ffaa:1:e01").paths("16-ffaa:0:1002", max_paths=None)
+        assert [p.sequence() for p in a] == [p.sequence() for p in b]
+
+    def test_file_roundtrip(self, tmp_path):
+        topo = build_tiny_world()
+        path = str(tmp_path / "world.json")
+        save_topology(topo, path)
+        again = load_topology(path)
+        assert len(again) == 6
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ParseError):
+            topology_from_dict({"format_version": 99})
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(ParseError):
+            load_topology(str(path))
+
+    def test_multiple_hosts_survive(self):
+        topo = build_scionlab_world()
+        again = topology_from_dict(topology_to_dict(topo))
+        assert len(again.as_of("16-ffaa:0:1001").hosts) == 2
+
+
+class TestFlowLedger:
+    def _setup(self):
+        topo = build_tiny_world()
+        net = NetworkSim(topo, NetworkConfig(seed=12))
+        hops = ["1-ffaa:1:1", "1-ffaa:0:3", "1-ffaa:0:1", "2-ffaa:0:1", "2-ffaa:0:2"]
+        from repro.netsim.network import LinkTraversal
+        from repro.topology.isd_as import ISDAS
+
+        steps = []
+        for a, b in zip(hops, hops[1:]):
+            link = topo.link_between(a, b)[0]
+            steps.append(LinkTraversal(link=link, sender=ISDAS.parse(a)))
+        return net, steps
+
+    def test_unregistered_flows_do_not_contend(self):
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        first = net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0)
+        second = net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0)
+        # Identical up to the one-sided measurement noise draw.
+        assert second.loss_fraction == pytest.approx(first.loss_fraction)
+        assert second.achieved_bps == pytest.approx(first.achieved_bps, rel=0.1)
+
+    def test_registered_overlapping_flows_contend(self):
+        """Two simultaneous 10 Mbps flows on a 16 Mbps uplink share it."""
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        first = net.fluid_transfer(
+            steps, 10e6, packet, 3.0, 0.0, register_flow=True
+        )
+        second = net.fluid_transfer(
+            steps, 10e6, packet, 3.0, 0.0, register_flow=True
+        )
+        assert first.achieved_bps > 8e6
+        assert second.achieved_bps < 0.75 * first.achieved_bps
+
+    def test_disjoint_windows_do_not_contend(self):
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        first = net.fluid_transfer(
+            steps, 10e6, packet, 3.0, 0.0, register_flow=True
+        )
+        later = net.fluid_transfer(
+            steps, 10e6, packet, 3.0, 100.0, register_flow=True
+        )
+        assert later.achieved_bps == pytest.approx(first.achieved_bps, rel=0.15)
+
+    def test_opposite_direction_does_not_contend(self):
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        reverse = [s.reversed() for s in reversed(steps)]
+        net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0, register_flow=True)
+        down = net.fluid_transfer(
+            reverse, 10e6, packet, 3.0, 0.0, register_flow=True
+        )
+        assert down.achieved_bps > 8e6
+
+    def test_ledger_clear(self):
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0, register_flow=True)
+        assert len(net.flows) == len(steps)
+        net.flows.clear()
+        fresh = net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0)
+        assert fresh.achieved_bps > 8e6
+
+    def test_partial_overlap_partial_contention(self):
+        net, steps = self._setup()
+        packet = PacketSpec(payload_bytes=1472, n_hops=5)
+        alone = net.fluid_transfer(steps, 10e6, packet, 3.0, 50.0)
+        net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0, register_flow=True)
+        half = net.fluid_transfer(steps, 10e6, packet, 3.0, 1.5)  # 50% overlap
+        full = net.fluid_transfer(steps, 10e6, packet, 3.0, 0.0)
+        assert full.achieved_bps < half.achieved_bps <= alone.achieved_bps + 1e5

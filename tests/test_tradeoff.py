@@ -1,0 +1,69 @@
+"""Tests for the §1 trade-off experiment (repro.experiments.tradeoff)."""
+
+import pytest
+
+from repro.experiments import tradeoff
+from repro.experiments.world import run_campaign
+from repro.selection.request import Metric
+
+
+@pytest.fixture(scope="module")
+def result():
+    world = run_campaign([1, 3], iterations=3, seed=20231112)
+    return tradeoff.run(destination_ids=[1, 3], world=world)
+
+
+class TestTradeoff:
+    def test_one_pick_per_policy_per_destination(self, result):
+        keys = {(p.server_id, p.policy) for p in result.picks}
+        assert keys == {
+            (d, m.value)
+            for d in (1, 3)
+            for m in (Metric.LATENCY, Metric.BANDWIDTH_DOWN, Metric.LOSS)
+        }
+
+    def test_latency_pick_is_fastest(self, result):
+        lat = result.pick(1, Metric.LATENCY)
+        others = [p for p in result.picks if p.server_id == 1 and p != lat]
+        assert all(lat.avg_latency_ms <= o.avg_latency_ms + 1e-9 for o in others)
+
+    def test_bandwidth_pick_has_most_bandwidth(self, result):
+        bw = result.pick(1, Metric.BANDWIDTH_DOWN)
+        others = [p for p in result.picks if p.server_id == 1 and p != bw]
+        assert all(
+            bw.avg_bw_down_mbps >= o.avg_bw_down_mbps - 1e-9 for o in others
+        )
+
+    def test_costs_are_consistent(self, result):
+        """By optimality, both cross-metric costs are non-negative."""
+        for server_id in (1, 3):
+            assert result.bandwidth_cost_of_latency_first(server_id) >= -1e-9
+            assert result.latency_cost_of_bandwidth_first(server_id) >= -1e-9
+
+    def test_access_link_dominates_bandwidth(self, result):
+        """The reproduction's (and SCIONLab's) structural finding: the
+        user's access link is the bandwidth bottleneck on *every* path,
+        so latency-first selection forfeits almost no bandwidth."""
+        cost = result.bandwidth_cost_of_latency_first(1)
+        assert cost < 1.0  # Mbps
+
+    def test_format_text(self, result):
+        text = result.format_text()
+        assert "trade-off" in text
+        assert "latency-first forfeits" in text
+
+    def test_missing_destination_pick_none(self, result):
+        assert result.pick(99, Metric.LATENCY) is None
+        assert result.bandwidth_cost_of_latency_first(99) is None
+
+
+class TestCampaignReportFormat:
+    def test_format_text(self):
+        from repro.suite.runner import CampaignReport
+
+        report = CampaignReport(iterations=2, stats_stored=44, paths_tested=44)
+        report.record_error("3_0: boom")
+        text = report.format_text()
+        assert "44 stats stored" in text
+        assert "errors: 1" in text
+        assert "3_0: boom" in text

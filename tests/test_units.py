@@ -1,0 +1,121 @@
+"""Unit tests for bandwidth/duration parsing (repro.util.units)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.units import (
+    Bandwidth,
+    Duration,
+    format_bandwidth,
+    format_duration,
+    parse_bandwidth,
+    parse_duration,
+)
+
+
+class TestParseBandwidth:
+    def test_mbps(self):
+        assert parse_bandwidth("12Mbps").mbps == pytest.approx(12.0)
+
+    def test_the_paper_values(self):
+        assert parse_bandwidth("150Mbps").bps == pytest.approx(150e6)
+
+    def test_kbps(self):
+        assert parse_bandwidth("500kbps").bps == pytest.approx(5e5)
+
+    def test_gbps(self):
+        assert parse_bandwidth("1.5Gbps").bps == pytest.approx(1.5e9)
+
+    def test_bare_bps(self):
+        assert parse_bandwidth("900bps").bps == pytest.approx(900.0)
+
+    def test_case_insensitive_unit(self):
+        assert parse_bandwidth("3mBpS").mbps == pytest.approx(3.0)
+
+    def test_whitespace_tolerated(self):
+        assert parse_bandwidth("  7 Mbps ").mbps == pytest.approx(7.0)
+
+    def test_decimal_value(self):
+        assert parse_bandwidth("0.5Mbps").kbps == pytest.approx(500.0)
+
+    def test_idempotent_on_bandwidth(self):
+        bw = Bandwidth(1e6)
+        assert parse_bandwidth(bw) is bw
+
+    @pytest.mark.parametrize("bad", ["", "Mbps", "12", "12 M b", "twelveMbps", "12Xbps"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValidationError):
+            parse_bandwidth(bad)
+
+
+class TestParseDuration:
+    def test_paper_interval(self):
+        assert parse_duration("0.1s").seconds == pytest.approx(0.1)
+
+    def test_milliseconds(self):
+        assert parse_duration("250ms").seconds == pytest.approx(0.25)
+
+    def test_bare_number_is_seconds(self):
+        assert parse_duration("3").seconds == pytest.approx(3.0)
+
+    def test_minutes(self):
+        assert parse_duration("2m").seconds == pytest.approx(120.0)
+
+    def test_microseconds(self):
+        assert parse_duration("100us").seconds == pytest.approx(1e-4)
+
+    @pytest.mark.parametrize("bad", ["", "s", "1x", "-3s"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValidationError):
+            parse_duration(bad)
+
+
+class TestValueObjects:
+    def test_bandwidth_ordering(self):
+        assert Bandwidth(1e6) < Bandwidth(2e6)
+
+    def test_bandwidth_arithmetic(self):
+        assert (Bandwidth(1e6) + Bandwidth(2e6)).mbps == pytest.approx(3.0)
+        assert (Bandwidth(2e6) - Bandwidth(5e6)).bps == 0.0  # clamps at zero
+        assert (2 * Bandwidth(1e6)).mbps == pytest.approx(2.0)
+
+    def test_bandwidth_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Bandwidth(-1.0)
+
+    def test_duration_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Duration(-0.1)
+
+    def test_duration_arithmetic(self):
+        assert (Duration(1.0) + Duration(0.5)).seconds == pytest.approx(1.5)
+        assert (Duration(2.0) * 3).seconds == pytest.approx(6.0)
+
+    def test_duration_ms_property(self):
+        assert Duration(0.25).ms == pytest.approx(250.0)
+
+
+class TestFormatting:
+    def test_format_bandwidth_picks_unit(self):
+        assert format_bandwidth(Bandwidth(12e6)) == "12.00Mbps"
+        assert format_bandwidth(Bandwidth(1.5e9)) == "1.50Gbps"
+        assert format_bandwidth(Bandwidth(900)) == "900bps"
+
+    def test_format_roundtrip(self):
+        original = Bandwidth(150e6)
+        assert parse_bandwidth(format_bandwidth(original)).bps == pytest.approx(
+            original.bps
+        )
+
+    def test_format_duration_sub_second(self):
+        assert format_duration(Duration(0.1)) == "100.000ms"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(Duration(3.0)) == "3.000s"
+
+    def test_format_duration_zero(self):
+        assert format_duration(Duration(0.0)) == "0s"
+
+    def test_str_dunder(self):
+        assert str(Bandwidth(12e6)) == "12.00Mbps"
+        assert str(Duration(3.0)) == "3.000s"

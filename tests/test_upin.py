@@ -1,0 +1,177 @@
+"""Tests for the UPIN framework components (repro.upin)."""
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.selection.engine import PathSelector
+from repro.selection.request import Metric, UserRequest
+from repro.upin.controller import PathController
+from repro.upin.explorer import NODES_COLLECTION, DomainExplorer
+from repro.upin.frontend import Frontend
+from repro.upin.tracer import TRACES_COLLECTION, PathTracer
+from repro.upin.verifier import PathVerifier, Verdict
+
+
+@pytest.fixture(scope="module")
+def world(measured_world):
+    return measured_world
+
+
+@pytest.fixture(scope="module")
+def frontend(world):
+    return Frontend(world.host, world.db, upin_isds=[17, 19])
+
+
+class TestDomainExplorer:
+    def test_explore_publishes_every_as(self, world):
+        explorer = DomainExplorer(world.host.topology, world.db)
+        count = explorer.explore()
+        assert count == 36
+        assert world.db[NODES_COLLECTION].count_documents() == 36
+
+    def test_node_lookup(self, frontend):
+        node = frontend.explorer.node("16-ffaa:0:1002")
+        assert node["country"] == "IE"
+        assert node["operator"] == "Amazon"
+        assert node["role"] == "non-core"
+
+    def test_country_query(self, frontend):
+        nodes = frontend.explorer.nodes_in_country("us")
+        assert {n["_id"] for n in nodes} >= {"16-ffaa:0:1003", "16-ffaa:0:1004"}
+
+    def test_operator_query(self, frontend):
+        nodes = frontend.explorer.nodes_of_operator("Amazon")
+        assert len(nodes) == 7
+
+    def test_countries_and_operators(self, frontend):
+        assert "CH" in frontend.explorer.countries()
+        assert "Amazon" in frontend.explorer.operators()
+
+    def test_degree_recorded(self, frontend):
+        node = frontend.explorer.node("16-ffaa:0:1001")
+        assert node["degree"] >= 5
+
+
+class TestPathController:
+    def test_apply_intent_installs_flow(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        rule = controller.apply_intent("alice", UserRequest.make(1))
+        assert rule.path.dst.isd == 16
+        assert controller.active_flow("alice", 1) is rule
+        assert controller.flows() == [rule]
+
+    def test_intent_constraints_respected(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        rule = controller.apply_intent(
+            "bob", UserRequest.make(1, exclude_countries=["US", "SG"])
+        )
+        assert not rule.path.transits("16-ffaa:0:1004")
+        assert not rule.path.transits("16-ffaa:0:1007")
+
+    def test_unsatisfiable_intent_raises(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        with pytest.raises(NoPathError):
+            controller.apply_intent("eve", UserRequest.make(1, exclude_isds=[16]))
+
+    def test_withdraw(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        controller.apply_intent("alice", UserRequest.make(1))
+        assert controller.withdraw("alice", 1)
+        assert controller.active_flow("alice", 1) is None
+        assert not controller.withdraw("alice", 1)
+
+
+class TestTracerAndVerifier:
+    def test_trace_stores_record(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        rule = controller.apply_intent("carol", UserRequest.make(3))
+        record = tracer.trace_flow(rule)
+        assert record.observed_hops == tuple(str(a) for a in rule.path.ases()[1:])
+        stored = tracer.traces_for("carol", 3)
+        assert len(stored) >= 1
+
+    def test_verifier_satisfied_within_upin_domains(self, world):
+        """Magdeburg paths stay in ISDs 17+19 — fully verifiable."""
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        rule = controller.apply_intent("dave", UserRequest.make(3))
+        report = verifier.verify(rule, tracer.trace_flow(rule))
+        assert report.verdict is Verdict.SATISFIED
+        assert not report.mismatches
+
+    def test_verifier_unverifiable_outside_upin(self, world):
+        """Ireland paths cross ISD 16, which does not run UPIN."""
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        rule = controller.apply_intent("erin", UserRequest.make(1))
+        report = verifier.verify(rule, tracer.trace_flow(rule))
+        assert report.verdict is Verdict.UNVERIFIABLE
+        assert all(h.startswith("16-") for h in report.unverified_hops)
+
+    def test_verifier_detects_route_deviation(self, world):
+        from dataclasses import replace
+
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        rule = controller.apply_intent("frank", UserRequest.make(3))
+        trace = tracer.trace_flow(rule)
+        # Forge an observation that deviates via GEANT.
+        forged = replace(
+            trace,
+            observed_hops=tuple(
+                "19-ffaa:0:1302" if h == "19-ffaa:0:1301" else h
+                for h in trace.observed_hops
+            ),
+        )
+        report = verifier.verify(rule, forged)
+        assert report.verdict is Verdict.VIOLATED
+        assert report.mismatches
+
+    def test_verifier_flags_constraint_violation_on_observed_route(self, world):
+        from dataclasses import replace
+
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        rule = controller.apply_intent(
+            "grace", UserRequest.make(1, exclude_countries=["US"])
+        )
+        trace = tracer.trace_flow(rule)
+        forged = replace(
+            trace,
+            observed_hops=trace.observed_hops[:-1] + ("16-ffaa:0:1004",),
+        )
+        report = verifier.verify(rule, forged)
+        assert report.verdict is Verdict.VIOLATED
+        assert any("excluded country" in m for m in report.mismatches)
+
+
+class TestFrontend:
+    def test_submit_intent_end_to_end(self, frontend):
+        outcome = frontend.submit_intent("henry", UserRequest.make(3))
+        assert outcome.rule.server_id == 3
+        assert outcome.verification.verdict is Verdict.SATISFIED
+        text = outcome.format_text()
+        assert "selected path" in text and "verdict:" in text
+
+    def test_recommend_menu(self, frontend):
+        menu = frontend.recommend(1)
+        assert "latency" in menu and menu["latency"]
+
+    def test_describe_network(self, frontend):
+        text = frontend.describe_network()
+        assert "36 ASes" in text
+        assert "countries" in text

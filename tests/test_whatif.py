@@ -1,0 +1,89 @@
+"""Tests for the what-if exclusion-policy analysis (repro.analysis.whatif)."""
+
+import pytest
+
+from repro.analysis.whatif import ExclusionPolicy, path_diversity
+
+
+@pytest.fixture(scope="module")
+def host(world_host):
+    return world_host
+
+
+class TestExclusionPolicy:
+    def test_country_normalised(self):
+        policy = ExclusionPolicy.make(countries=["us", "Sg"])
+        assert policy.countries == frozenset({"US", "SG"})
+
+    def test_admits_checks_every_hop(self, host):
+        policy = ExclusionPolicy.make(countries=["US"])
+        paths = host.paths("16-ffaa:0:1002", max_paths=None)
+        via_ohio = next(p for p in paths if p.transits("16-ffaa:0:1004"))
+        europe = next(
+            p for p in paths
+            if not p.transits("16-ffaa:0:1004") and not p.transits("16-ffaa:0:1007")
+        )
+        assert not policy.admits(host, via_ohio)
+        assert policy.admits(host, europe)
+
+
+class TestPathDiversity:
+    def test_empty_policy_everything_reachable(self, host):
+        result = path_diversity(host, ExclusionPolicy.make())
+        assert result.reachable_count == 21
+        assert all(
+            d.admissible_paths == d.total_paths for d in result.destinations
+        )
+
+    def test_excluding_us_and_sg_keeps_ireland_reachable(self, host):
+        """The sovereignty demo: Ireland loses its 8 detour paths but
+        stays reachable; the US and Singapore servers themselves drop."""
+        result = path_diversity(
+            host, ExclusionPolicy.make(countries=["US", "SG"])
+        )
+        ireland = result.diversity_of(1)
+        assert ireland.reachable
+        assert ireland.total_paths - ireland.admissible_paths == 8
+        # Destination ASes inside excluded countries become unreachable.
+        lost = {d.isd_as for d in result.unreachable}
+        assert "16-ffaa:0:1003" in lost  # N. Virginia
+        assert "16-ffaa:0:1007" in lost  # AWS Singapore
+        assert "18-ffaa:0:1203" in lost  # Columbia NYC
+
+    def test_excluding_amazon_kills_all_aws_destinations(self, host):
+        result = path_diversity(host, ExclusionPolicy.make(operators=["Amazon"]))
+        lost = {d.isd_as for d in result.unreachable}
+        assert {
+            "16-ffaa:0:1001", "16-ffaa:0:1002", "16-ffaa:0:1003",
+            "16-ffaa:0:1004", "16-ffaa:0:1005", "16-ffaa:0:1006",
+            "16-ffaa:0:1007",
+        } <= lost
+        # Non-AWS destinations keep full diversity.
+        magdeburg = result.diversity_of(3)
+        assert magdeburg.admissible_paths == magdeburg.total_paths
+
+    def test_excluding_home_isd_kills_everything(self, host):
+        """Every path starts in ISD 17, so excluding it is total."""
+        result = path_diversity(host, ExclusionPolicy.make(isds=[17]))
+        assert result.reachable_count == 0
+
+    def test_excluding_single_as_reduces_not_kills(self, host):
+        result = path_diversity(
+            host, ExclusionPolicy.make(ases=["19-ffaa:0:1302"])  # GEANT
+        )
+        ireland = result.diversity_of(1)
+        assert ireland.reachable
+        assert 0 < ireland.admissible_paths < ireland.total_paths
+
+    def test_survival_fraction(self, host):
+        result = path_diversity(host, ExclusionPolicy.make(countries=["US"]))
+        nv = result.diversity_of(2)
+        assert nv.survival_fraction == 0.0
+        ireland = result.diversity_of(1)
+        assert 0.0 < ireland.survival_fraction < 1.0
+
+    def test_format_text(self, host):
+        result = path_diversity(host, ExclusionPolicy.make(countries=["US"]))
+        text = result.format_text()
+        assert "What-if" in text
+        assert "unreachable" in text

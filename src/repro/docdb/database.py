@@ -38,7 +38,10 @@ class Database:
             self._collections.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._collections
+        # Locked like every other accessor: membership must observe a
+        # consistent view while workers create collections concurrently.
+        with self._lock:
+            return name in self._collections
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Database({self.name!r}, collections={self.list_collection_names()})"

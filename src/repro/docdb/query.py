@@ -117,6 +117,14 @@ def _apply_operators(values: List[Any], exists: bool, ops: Dict[str, Any]) -> bo
             if op == "$eq" and operand is None:
                 continue
             return False
+        if op in {"$ne", "$nin"}:
+            # Complement semantics (Mongo): $ne/$nin match iff NO value —
+            # the field itself or any array element — equals / is listed.
+            # An existential check here would let ``{"xs": [0, 1]}`` match
+            # both ``$eq: 0`` and ``$ne: 0``.
+            if not all(_single_op(v, op, operand, flags) for v in fanned):
+                return False
+            continue
         if not any(_single_op(v, op, operand, flags) for v in fanned):
             return False
     return True

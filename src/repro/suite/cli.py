@@ -22,6 +22,7 @@ from repro.scion.snet import ScionHost
 from repro.scionlab.defaults import available_server_documents
 from repro.suite.collect import PathsCollector
 from repro.suite.config import SERVERS_COLLECTION, SuiteConfig
+from repro.suite.metrics import format_metrics
 from repro.suite.parallel import ParallelCampaign
 from repro.suite.runner import TestRunner
 from repro.topology.scionlab import MY_AS, scionlab_network_config
@@ -49,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--parallel", type=int, default=0, metavar="N",
         help="shard destinations over N worker threads",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the parallel campaign on the first worker failure "
+        "instead of isolating it (§4.1.2 default: isolate)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print retry/backoff/batch telemetry after the campaign",
     )
     parser.add_argument(
         "--db-dir", default=None, help="persist the database under this directory"
@@ -124,13 +136,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             campaign = ParallelCampaign(
                 host.topology, MY_AS, db, config,
                 base_config=scionlab_network_config(seed=args.seed), seed=args.seed,
+                signer=signer, signer_subject=signer_subject,
+                fail_fast=args.fail_fast,
             )
             preport = campaign.run(iterations=args.iterations, max_workers=args.parallel)
             print(
                 f"parallel campaign: {preport.stats_stored} stats stored, "
                 f"{preport.paths_tested} path tests, "
+                f"{preport.stats_lost} lost, "
                 f"{preport.measurement_errors} errors"
             )
+            if preport.failed_destinations:
+                print(
+                    f"failed destinations: "
+                    f"{len(preport.failed_destinations)} "
+                    f"(of {len(preport.per_destination)})"
+                )
+                for sid in sorted(preport.failed_destinations):
+                    print(f"  - {sid}: {preport.failed_destinations[sid]}")
+            if args.metrics:
+                block = format_metrics(preport.metrics, indent="  ")
+                print("metrics:" + ("\n" + block if block else " (none)"))
         else:
             report = TestRunner(
                 host, db, config, signer=signer, signer_subject=signer_subject
@@ -141,6 +167,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{report.stats_lost} lost, {report.measurement_errors} errors, "
                 f"{report.sim_seconds:.1f} simulated seconds"
             )
+            if args.metrics:
+                block = format_metrics(report.metrics, indent="  ")
+                print("metrics:" + ("\n" + block if block else " (none)"))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

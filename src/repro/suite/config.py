@@ -46,6 +46,13 @@ class SuiteConfig:
     # -- robustness (§4.1.2) ------------------------------------------------------
     max_retries: int = 1
     continue_on_error: bool = True
+    #: Exponential-backoff shape for transient-failure retries.  The
+    #: delays advance the *simulated* clock only (see ``suite.retry``).
+    retry_backoff_s: float = 0.5
+    retry_backoff_factor: float = 2.0
+    retry_backoff_max_s: float = 30.0
+    #: Relative half-width of the deterministic jitter (0 disables).
+    retry_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.iterations < 0:
@@ -56,6 +63,16 @@ class SuiteConfig:
             raise ValidationError("ping_count must be >= 1")
         if self.bw_duration_s <= 0:
             raise ValidationError("bw_duration_s must be positive")
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValidationError("retry_backoff_s must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ValidationError("retry_backoff_factor must be >= 1")
+        if self.retry_backoff_max_s < 0:
+            raise ValidationError("retry_backoff_max_s must be >= 0")
+        if not (0.0 <= self.retry_jitter < 1.0):
+            raise ValidationError("retry_jitter must be in [0, 1)")
 
     def bw_params(self, packet: "int | str") -> str:
         """The ``-cs`` parameter string for one packet class.

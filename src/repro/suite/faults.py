@@ -8,11 +8,23 @@ loss*, *server failure* (no answer) and *error messages* (bad answer).
   of campaign iterations,
 * :class:`DataLossFault` makes a fraction of batch flushes crash before
   the insert (exercising the §4.2.2 bounded-loss design).
+
+Parallel campaigns share one plan across worker threads, which imposes
+two extra obligations:
+
+* the ``injected_*`` counters are guarded by a lock, and
+* the data-loss RNG must not be a single sequential stream (draw order
+  would then depend on thread scheduling).  :meth:`FaultPlan.scoped`
+  returns a per-destination view whose crash draws come from a stream
+  derived via :func:`~repro.util.rng.derive_seed` over the destination
+  id, so the set of lost batches is a pure function of the seed — the
+  same for 1 worker or 8.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -20,6 +32,7 @@ import numpy as np
 from repro.errors import DataLossError, ValidationError
 from repro.netsim.network import NetworkSim, ServerHealth
 from repro.topology.isd_as import ISDAS
+from repro.util.rng import derive_seed
 
 
 @dataclass(frozen=True)
@@ -52,7 +65,11 @@ class DataLossFault:
 
 
 class FaultPlan:
-    """A schedule of faults the runner consults during a campaign."""
+    """A schedule of faults the runner consults during a campaign.
+
+    Thread-safe: one plan may be shared by every worker of a
+    :class:`~repro.suite.parallel.ParallelCampaign`.
+    """
 
     def __init__(
         self,
@@ -61,13 +78,31 @@ class FaultPlan:
     ) -> None:
         self.outages = list(outages)
         self.data_loss = data_loss
+        self._lock = threading.Lock()
         self._rng = (
             np.random.default_rng(data_loss.seed) if data_loss is not None else None
         )
         self.injected_outages = 0
         self.injected_losses = 0
 
+    # -- shared counters (thread-safe) --------------------------------------------
+
+    def record_outage(self) -> None:
+        with self._lock:
+            self.injected_outages += 1
+
+    def record_loss(self) -> None:
+        with self._lock:
+            self.injected_losses += 1
+
     # -- server health ------------------------------------------------------------
+
+    def outage_health(self, iteration: int, server_id: int) -> Optional[ServerHealth]:
+        """The scheduled health override, or None when the server is UP."""
+        for outage in self.outages:
+            if outage.server_id == server_id and outage.active(iteration):
+                return outage.health
+        return None
 
     def apply_server_health(
         self,
@@ -78,22 +113,80 @@ class FaultPlan:
         ip: str,
     ) -> None:
         """Set the destination's health for this iteration."""
-        health = ServerHealth.UP
-        for outage in self.outages:
-            if outage.server_id == server_id and outage.active(iteration):
-                health = outage.health
-                self.injected_outages += 1
-                break
-        network.servers.set_health(ISDAS.parse(isd_as), ip, health)
+        health = self.outage_health(iteration, server_id)
+        if health is not None:
+            self.record_outage()
+        network.servers.set_health(
+            ISDAS.parse(isd_as), ip, health if health is not None else ServerHealth.UP
+        )
 
     # -- data loss -----------------------------------------------------------------
+
+    def _loss_draw(self) -> float:
+        assert self._rng is not None
+        with self._lock:
+            return float(self._rng.random())
 
     def flush_hook(self, batch: List[Dict[str, Any]]) -> None:
         """Install as :attr:`StatsRepository.flush_hook`."""
         if self._rng is None or self.data_loss is None:
             return
-        if float(self._rng.random()) < self.data_loss.probability:
-            self.injected_losses += 1
+        if self._loss_draw() < self.data_loss.probability:
+            self.record_loss()
+            raise DataLossError(
+                f"simulated crash before storing {len(batch)} documents"
+            )
+
+    # -- per-destination views ------------------------------------------------------
+
+    def scoped(self, server_id: int) -> "DestinationFaults":
+        """A view of this plan for one destination worker.
+
+        Shares the outage schedule and the (locked) ``injected_*``
+        counters, but owns a deterministic per-destination loss stream so
+        parallel draws are scheduling-independent.
+        """
+        return DestinationFaults(self, server_id)
+
+
+class DestinationFaults:
+    """One destination's deterministic slice of a shared :class:`FaultPlan`.
+
+    Duck-types the plan interface the runner uses
+    (:meth:`apply_server_health`, :meth:`flush_hook`); counters route to
+    the parent plan under its lock.
+    """
+
+    def __init__(self, plan: FaultPlan, server_id: int) -> None:
+        self.plan = plan
+        self.server_id = server_id
+        self._rng = (
+            np.random.default_rng(
+                derive_seed(plan.data_loss.seed, f"dest:{server_id}")
+            )
+            if plan.data_loss is not None
+            else None
+        )
+
+    @property
+    def data_loss(self) -> Optional[DataLossFault]:
+        return self.plan.data_loss
+
+    def apply_server_health(
+        self,
+        network: NetworkSim,
+        iteration: int,
+        server_id: int,
+        isd_as: str,
+        ip: str,
+    ) -> None:
+        self.plan.apply_server_health(network, iteration, server_id, isd_as, ip)
+
+    def flush_hook(self, batch: List[Dict[str, Any]]) -> None:
+        if self._rng is None or self.plan.data_loss is None:
+            return
+        if float(self._rng.random()) < self.plan.data_loss.probability:
+            self.plan.record_loss()
             raise DataLossError(
                 f"simulated crash before storing {len(batch)} documents"
             )

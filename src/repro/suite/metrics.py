@@ -1,0 +1,177 @@
+"""Lightweight campaign telemetry: counters and histograms.
+
+Production measurement fleets (cf. the SCIONLab coordinator, which must
+tolerate flaky user ASes) live and die by their retry/backoff/batch
+telemetry.  This module gives the test-suite the same discipline at
+simulation scale:
+
+* :class:`MetricsRegistry` — a thread-safe named-instrument registry.
+  Counters accumulate monotonically (``retries``, ``flush_failures``);
+  histograms track ``count/total/min/max`` (``backoff_s``,
+  ``batch_size``, ``destination_wall_s``, ``destination_sim_s``).
+* ``snapshot()`` renders the registry as a plain, JSON-friendly dict so
+  :class:`~repro.suite.runner.CampaignReport` can carry it across thread
+  boundaries by value.
+* :func:`merge_snapshots` folds per-destination snapshots into a
+  campaign-wide view.  The fold is commutative and associative, so the
+  merged numbers are independent of worker scheduling.
+
+Only the ``*_wall_s`` instruments observe the host's real clock; every
+other metric is a pure function of ``(world, seed, campaign)`` and is
+therefore byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Snapshot schema version (bumped if the dict layout ever changes).
+SNAPSHOT_VERSION = 1
+
+# Canonical instrument names used by the suite.
+RETRIES = "retries"
+RETRY_EXHAUSTED = "retry_exhausted"
+FLUSHES = "flushes"
+FLUSH_FAILURES = "flush_failures"
+DOCS_LOST = "docs_lost"
+BACKOFF_S = "backoff_s"
+BATCH_SIZE = "batch_size"
+DEST_WALL_S = "destination_wall_s"
+DEST_SIM_S = "destination_sim_s"
+
+
+class MetricsRegistry:
+    """Thread-safe counters + histograms, snapshotted as a plain dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- write side -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        v = float(value)
+        with self._lock:
+            agg = self._histograms.get(name)
+            if agg is None:
+                self._histograms[name] = [1.0, v, v, v]
+            else:
+                agg[0] += 1.0
+                agg[1] += v
+                agg[2] = min(agg[2], v)
+                agg[3] = max(agg[3], v)
+
+    # -- read side ------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep, JSON-friendly copy with deterministically sorted keys."""
+        with self._lock:
+            return {
+                "version": SNAPSHOT_VERSION,
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "histograms": {
+                    k: {
+                        "count": int(agg[0]),
+                        "total": agg[1],
+                        "min": agg[2],
+                        "max": agg[3],
+                    }
+                    for k, agg in sorted(self._histograms.items())
+                },
+            }
+
+
+def empty_snapshot() -> Dict[str, Any]:
+    return {"version": SNAPSHOT_VERSION, "counters": {}, "histograms": {}}
+
+
+def counter_value(snapshot: Optional[Dict[str, Any]], name: str) -> float:
+    """Counter ``name`` out of a snapshot dict (0 when absent)."""
+    if not snapshot:
+        return 0.0
+    return float(snapshot.get("counters", {}).get(name, 0.0))
+
+
+def histogram_stats(
+    snapshot: Optional[Dict[str, Any]], name: str
+) -> Optional[Dict[str, float]]:
+    """Histogram aggregate for ``name`` (None when never observed)."""
+    if not snapshot:
+        return None
+    return snapshot.get("histograms", {}).get(name)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold snapshots into one (commutative: scheduling-independent)."""
+    counters: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, agg in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(agg)
+            else:
+                merged["count"] += agg["count"]
+                merged["total"] += agg["total"]
+                merged["min"] = min(merged["min"], agg["min"])
+                merged["max"] = max(merged["max"], agg["max"])
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
+
+
+def format_metrics(snapshot: Optional[Dict[str, Any]], *, indent: str = "  ") -> str:
+    """Human-readable metrics block (empty string when nothing recorded)."""
+    if not snapshot:
+        return ""
+    lines: List[str] = []
+    retries = counter_value(snapshot, RETRIES)
+    exhausted = counter_value(snapshot, RETRY_EXHAUSTED)
+    backoff = histogram_stats(snapshot, BACKOFF_S)
+    if retries or exhausted:
+        backoff_total = backoff["total"] if backoff else 0.0
+        lines.append(
+            f"{indent}retries: {retries:g} "
+            f"(gave up: {exhausted:g}, backoff: {backoff_total:.2f} sim s)"
+        )
+    batches = histogram_stats(snapshot, BATCH_SIZE)
+    if batches and batches["count"]:
+        mean = batches["total"] / batches["count"]
+        lines.append(
+            f"{indent}batches: {batches['count']} flushed "
+            f"(avg {mean:.1f} docs, max {batches['max']:g})"
+        )
+    failures = counter_value(snapshot, FLUSH_FAILURES)
+    lost = counter_value(snapshot, DOCS_LOST)
+    if failures or lost:
+        lines.append(
+            f"{indent}flush failures: {failures:g} ({lost:g} documents lost)"
+        )
+    wall = histogram_stats(snapshot, DEST_WALL_S)
+    sim = histogram_stats(snapshot, DEST_SIM_S)
+    if wall and sim and wall["count"]:
+        lines.append(
+            f"{indent}per destination: "
+            f"{sim['total'] / sim['count']:.1f} sim s, "
+            f"{wall['total'] / wall['count'] * 1e3:.1f} wall ms (avg)"
+        )
+    return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Parallel campaigns: scale-out across destinations (§4.1.1).
+"""Parallel campaigns: scale-out across destinations (§4.1.1 + §4.1.2).
 
 The paper's scalability requirement — "the system's capability to adapt
 to a larger workload ... the amount of data generated grows both with
@@ -8,18 +8,34 @@ pool.  Each worker owns its *own* simulated network client (its own
 clock and RNG streams, seeded per destination so results do not depend
 on scheduling), while all workers write to the shared, thread-safe
 document database.
+
+Fault isolation (§4.1.2) is the second half of the contract: one
+unreachable or misbehaving destination must never abort the fleet.  A
+worker that raises is converted into a failed per-destination
+:class:`~repro.suite.runner.CampaignReport` (the error recorded in
+``ParallelReport.failed_destinations``) while every other worker's
+results are kept.  ``fail_fast=True`` restores abort-on-first-error for
+debugging.
+
+Fault *injection* is live in parallel mode too: a shared
+:class:`~repro.suite.faults.FaultPlan` is sliced into per-destination
+views (deterministic loss streams, locked shared counters) and the
+signing keypair is forwarded to every worker's runner.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, Optional
 
+from repro.crypto.rsa import RSAKeyPair
 from repro.docdb.database import Database
 from repro.netsim.config import NetworkConfig
 from repro.scion.snet import ScionHost
+from repro.suite import metrics as m
 from repro.suite.config import SERVERS_COLLECTION, SuiteConfig
+from repro.suite.faults import FaultPlan
 from repro.suite.runner import CampaignReport, TestRunner
 from repro.topology.graph import Topology
 from repro.topology.isd_as import ISDAS
@@ -31,6 +47,8 @@ class ParallelReport:
     """Aggregate of the per-destination campaign reports."""
 
     per_destination: Dict[int, CampaignReport] = field(default_factory=dict)
+    #: server_id -> error string for workers whose whole campaign died.
+    failed_destinations: Dict[int, str] = field(default_factory=dict)
 
     @property
     def stats_stored(self) -> int:
@@ -41,12 +59,56 @@ class ParallelReport:
         return sum(r.paths_tested for r in self.per_destination.values())
 
     @property
+    def stats_lost(self) -> int:
+        return sum(r.stats_lost for r in self.per_destination.values())
+
+    @property
     def measurement_errors(self) -> int:
         return sum(r.measurement_errors for r in self.per_destination.values())
 
+    @property
+    def completed_destinations(self) -> int:
+        return len(self.per_destination) - len(self.failed_destinations)
+
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Campaign-wide metrics: per-destination snapshots, folded.
+
+        The fold is commutative, so the merged values are independent of
+        worker count and completion order.
+        """
+        return m.merge_snapshots(
+            self.per_destination[sid].metrics
+            for sid in sorted(self.per_destination)
+        )
+
+    def format_text(self) -> str:
+        lines = [
+            f"parallel campaign: {self.stats_stored} stats stored, "
+            f"{self.paths_tested} path tests, "
+            f"{self.stats_lost} lost, {self.measurement_errors} errors",
+            f"  destinations: {self.completed_destinations} ok, "
+            f"{len(self.failed_destinations)} failed",
+        ]
+        for sid in sorted(self.failed_destinations):
+            lines.append(f"    - {sid}: {self.failed_destinations[sid]}")
+        metrics_block = m.format_metrics(self.metrics)
+        if metrics_block:
+            lines.append(metrics_block)
+        return "\n".join(lines)
+
 
 class ParallelCampaign:
-    """Runs one single-destination campaign per worker thread."""
+    """Runs one single-destination campaign per worker thread.
+
+    ``faults`` and ``signer``/``signer_subject`` are forwarded to every
+    worker's :class:`TestRunner` (the plan through a per-destination
+    :meth:`~repro.suite.faults.FaultPlan.scoped` view so injected-loss
+    draws stay scheduling-independent).  With the default
+    ``fail_fast=False`` a crashing worker is isolated: its destination is
+    reported in :attr:`ParallelReport.failed_destinations` and every
+    other destination completes normally.
+    """
 
     def __init__(
         self,
@@ -57,6 +119,10 @@ class ParallelCampaign:
         *,
         base_config: Optional[NetworkConfig] = None,
         seed: int = 20231112,
+        faults: Optional[FaultPlan] = None,
+        signer: Optional[RSAKeyPair] = None,
+        signer_subject: str = "",
+        fail_fast: bool = False,
     ) -> None:
         self.topology = topology
         self.local_ia = ISDAS.parse(local_ia)
@@ -64,6 +130,10 @@ class ParallelCampaign:
         self.config = config
         self.base_config = base_config
         self.seed = seed
+        self.faults = faults
+        self.signer = signer
+        self.signer_subject = signer_subject
+        self.fail_fast = fail_fast
 
     def _host_for(self, server_id: int) -> ScionHost:
         """A fresh host whose network is seeded per destination."""
@@ -78,7 +148,12 @@ class ParallelCampaign:
         return ScionHost(self.topology, self.local_ia, config=net_config)
 
     def run(self, *, iterations: int = 1, max_workers: int = 4) -> ParallelReport:
-        """Measure every configured destination concurrently."""
+        """Measure every configured destination concurrently.
+
+        A worker exception never aborts the fleet (unless ``fail_fast``):
+        it becomes a failed :class:`CampaignReport` for that destination
+        and an entry in :attr:`ParallelReport.failed_destinations`.
+        """
         servers = self.db[SERVERS_COLLECTION].find(sort=[("_id", 1)])
         if self.config.destination_ids is not None:
             wanted = set(self.config.destination_ids)
@@ -96,7 +171,18 @@ class ParallelCampaign:
             }
             for future in as_completed(futures):
                 server_id = futures[future]
-                report.per_destination[server_id] = future.result()
+                try:
+                    report.per_destination[server_id] = future.result()
+                except Exception as exc:  # worker isolation boundary
+                    if self.fail_fast:
+                        for other in futures:
+                            other.cancel()
+                        raise
+                    failure = f"{type(exc).__name__}: {exc}"
+                    failed = CampaignReport(failure=failure)
+                    failed.record_error(f"destination {server_id}: {failure}")
+                    report.per_destination[server_id] = failed
+                    report.failed_destinations[server_id] = failure
         return report
 
     def _run_destination(self, server_id: int, iterations: int) -> CampaignReport:
@@ -109,5 +195,12 @@ class ParallelCampaign:
             some_only=False,
             iterations=iterations,
         )
-        runner = TestRunner(host, self.db, config)
+        runner = TestRunner(
+            host,
+            self.db,
+            config,
+            faults=self.faults.scoped(server_id) if self.faults is not None else None,
+            signer=self.signer,
+            signer_subject=self.signer_subject,
+        )
         return runner.run()

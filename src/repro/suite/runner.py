@@ -17,8 +17,9 @@ counted but never abort the campaign.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Union
 
 from repro.apps.bwtester import BwtestApp
 from repro.apps.ping import PingApp
@@ -28,20 +29,27 @@ from repro.errors import (
     DataLossError,
     MeasurementError,
     NoPathError,
-    ReproError,
 )
 from repro.scion.path import Path
 from repro.scion.snet import ScionHost
+from repro.suite import metrics as m
 from repro.suite.collect import PathsCollector
 from repro.suite.config import (
     PATHS_COLLECTION,
     STATS_COLLECTION,
     SuiteConfig,
 )
-from repro.suite.faults import FaultPlan
+from repro.suite.faults import DestinationFaults, FaultPlan
+from repro.suite.retry import RetryExecutor, RetryPolicy
 from repro.suite.storage import StatsRepository, stats_document_id
 from repro.topology.isd_as import ISDAS
+from repro.util.rng import derive_seed
 from repro.util.timefmt import TimestampSource
+
+#: Anything the runner can consult for fault injection: a whole plan
+#: (serial campaigns) or one destination's deterministic view of a
+#: shared plan (parallel campaigns).
+FaultSource = Union[FaultPlan, DestinationFaults]
 
 
 @dataclass
@@ -56,6 +64,25 @@ class CampaignReport:
     measurement_errors: int = 0
     error_log: List[str] = field(default_factory=list)
     sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    #: Set when the whole campaign (not one measurement) died — parallel
+    #: mode synthesizes such a report for an isolated worker crash.
+    failure: Optional[str] = None
+    #: Snapshot of the runner's :class:`~repro.suite.metrics.MetricsRegistry`.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    @property
+    def retries(self) -> int:
+        return int(m.counter_value(self.metrics, m.RETRIES))
+
+    @property
+    def backoff_seconds(self) -> float:
+        hist = m.histogram_stats(self.metrics, m.BACKOFF_S)
+        return float(hist["total"]) if hist else 0.0
 
     def record_error(self, message: str, *, cap: int = 200) -> None:
         self.measurement_errors += 1
@@ -71,6 +98,11 @@ class CampaignReport:
             f"lost: {self.stats_lost}  errors: {self.measurement_errors}",
             f"  simulated time: {self.sim_seconds:.1f} s",
         ]
+        if self.failure is not None:
+            lines.append(f"  FAILED: {self.failure}")
+        metrics_block = m.format_metrics(self.metrics)
+        if metrics_block:
+            lines.append(metrics_block)
         if self.error_log:
             lines.append("  first errors:")
             lines.extend(f"    - {msg}" for msg in self.error_log[:5])
@@ -88,14 +120,16 @@ class TestRunner:
         db: Database,
         config: SuiteConfig,
         *,
-        faults: Optional[FaultPlan] = None,
+        faults: Optional[FaultSource] = None,
         signer: Optional[RSAKeyPair] = None,
         signer_subject: str = "",
+        metrics: Optional[m.MetricsRegistry] = None,
     ) -> None:
         self.host = host
         self.db = db
         self.config = config
         self.faults = faults
+        self.metrics = metrics if metrics is not None else m.MetricsRegistry()
         self.ping_app = PingApp(host)
         self.bw_app = BwtestApp(host)
         self.collector = PathsCollector(host, db, config)
@@ -109,6 +143,16 @@ class TestRunner:
             flush_hook=faults.flush_hook if faults is not None else None,
         )
         self._timestamps = TimestampSource(now_ms=lambda: host.clock.now_ms)
+        # Backoff jitter draws come from a stream keyed off the host's
+        # network seed, so the retry schedule is reproducible and — in
+        # parallel mode, where every destination gets its own seeded
+        # host — independent of worker scheduling.
+        self._retry = RetryExecutor(
+            RetryPolicy.from_config(config),
+            host.clock,
+            seed=derive_seed(host.network.config.seed, "suite:retry"),
+            metrics=self.metrics,
+        )
 
     # -- campaign --------------------------------------------------------------------
 
@@ -117,13 +161,19 @@ class TestRunner:
         iterations = self.config.iterations if iterations is None else iterations
         report = CampaignReport()
         start_s = self.host.clock.now_s
+        start_wall = time.perf_counter()
         destinations = self.collector.destinations()
         for iteration in range(iterations):
             report.iterations = iteration + 1
             for server in destinations:
                 self._run_destination(iteration, server, report)
         report.sim_seconds = self.host.clock.now_s - start_s
-        report.destinations_tested = len(destinations) * max(report.iterations, 0)
+        report.wall_seconds = time.perf_counter() - start_wall
+        # Requested work, not loop-progress: ``report.iterations`` is only
+        # written inside the loop, so deriving the count from it reported
+        # stale numbers for 0-iteration campaigns.
+        report.destinations_tested = len(destinations) * iterations
+        report.metrics = self.metrics.snapshot()
         return report
 
     def _run_destination(
@@ -132,6 +182,8 @@ class TestRunner:
         server_id = int(server["_id"])
         isd_as = str(server["isd_as"])
         ip = str(server["ip"])
+        start_sim = self.host.clock.now_s
+        start_wall = time.perf_counter()
         if self.faults is not None:
             self.faults.apply_server_health(
                 self.host.network, iteration, server_id, isd_as, ip
@@ -139,25 +191,42 @@ class TestRunner:
         path_docs = self.db[PATHS_COLLECTION].find(
             {"server_id": server_id}, sort=[("path_index", 1)]
         )
-        for path_doc in path_docs:
-            try:
-                doc = self.measure_path(path_doc, server)
-            except MeasurementError as exc:
-                report.record_error(f"{path_doc['_id']}: {exc}")
-                if not self.config.continue_on_error:
-                    raise
-                continue
-            except NoPathError as exc:
-                report.record_error(f"{path_doc['_id']}: {exc}")
-                continue
-            self.stats.add(doc)
-            report.paths_tested += 1
-        # Batch storage per destination (§4.2.2).
         try:
-            report.stats_stored += self.stats.flush()
-        except DataLossError as exc:
-            report.stats_lost += self.stats.lost_documents
-            report.record_error(f"destination {server_id}: {exc}")
+            for path_doc in path_docs:
+                try:
+                    doc = self.measure_path(path_doc, server)
+                except MeasurementError as exc:
+                    report.record_error(f"{path_doc['_id']}: {exc}")
+                    if not self.config.continue_on_error:
+                        raise
+                    continue
+                except NoPathError as exc:
+                    report.record_error(f"{path_doc['_id']}: {exc}")
+                    continue
+                self.stats.add(doc)
+                report.paths_tested += 1
+            # Batch storage per destination (§4.2.2).
+            try:
+                stored = self.stats.flush()
+                report.stats_stored += stored
+                if stored:
+                    self.metrics.inc(m.FLUSHES)
+                    self.metrics.observe(m.BATCH_SIZE, stored)
+            except DataLossError as exc:
+                # Per-flush delta, NOT the repository's cumulative counter:
+                # the cumulative value re-adds every earlier lost batch.
+                lost = self.stats.lost_last_flush
+                report.stats_lost += lost
+                self.metrics.inc(m.FLUSH_FAILURES)
+                self.metrics.inc(m.DOCS_LOST, lost)
+                report.record_error(f"destination {server_id}: {exc}")
+        finally:
+            self.metrics.observe(
+                m.DEST_SIM_S, self.host.clock.now_s - start_sim
+            )
+            self.metrics.observe(
+                m.DEST_WALL_S, time.perf_counter() - start_wall
+            )
 
     # -- one path -----------------------------------------------------------------------
 
@@ -217,11 +286,10 @@ class TestRunner:
         return path
 
     def _with_retries(self, action):
-        last: Optional[ReproError] = None
-        for _ in range(self.config.max_retries + 1):
-            try:
-                return action()
-            except MeasurementError as exc:
-                last = exc
-        assert last is not None
-        raise last
+        """Transient failures retry with deterministic exponential backoff.
+
+        Delegates to :class:`~repro.suite.retry.RetryExecutor`: backoff
+        advances the simulated clock only, permanent
+        :class:`~repro.errors.NoPathError` s are never retried.
+        """
+        return self._retry.call(action)

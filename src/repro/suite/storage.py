@@ -47,7 +47,13 @@ class StatsRepository:
         self.flush_hook = flush_hook
         self._buffer: List[Dict[str, Any]] = []
         self.flushed_documents = 0
+        #: Cumulative losses over the repository's lifetime...
         self.lost_documents = 0
+        #: ...and the loss of the *most recent* flush only.  Callers that
+        #: account per batch (``CampaignReport.stats_lost``) must use this
+        #: delta — adding the cumulative counter double-counts earlier
+        #: losses on every subsequent crash.
+        self.lost_last_flush = 0
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -65,6 +71,7 @@ class StatsRepository:
         the buffer is dropped — at most one sample per path of a single
         destination, the bounded loss the paper's design accepts.
         """
+        self.lost_last_flush = 0
         if not self._buffer:
             return 0
         batch, self._buffer = self._buffer, []
@@ -73,6 +80,7 @@ class StatsRepository:
                 self.flush_hook(batch)
         except DataLossError:
             self.lost_documents += len(batch)
+            self.lost_last_flush = len(batch)
             raise
         self.collection.insert_many(batch)
         self.flushed_documents += len(batch)

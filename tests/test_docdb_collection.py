@@ -254,6 +254,41 @@ class TestConcurrency:
         assert len(c) == 800
         assert all(len(c.find({"worker": w})) == 100 for w in range(8))
 
+    def test_contains_is_consistent_under_concurrent_creation(self):
+        """Regression: ``Database.__contains__`` read the collection map
+        without the lock every other accessor takes."""
+        db = Database("upin")
+        errors = []
+        n_names = 200
+
+        def creator():
+            try:
+                for i in range(n_names):
+                    db.collection(f"c{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def prober():
+            try:
+                for _ in range(20):
+                    for i in range(n_names):
+                        if f"c{i}" in db:
+                            # Membership must agree with the accessor.
+                            db.collection(f"c{i}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=creator)] + [
+            threading.Thread(target=prober) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(f"c{i}" in db for i in range(n_names))
+        assert "nope" not in db
+
 
 class TestDatabaseAndClient:
     def test_lazy_collection_creation(self):

@@ -44,6 +44,15 @@ class TestEquality:
         assert matches(DOC, {"server_id": {"$ne": 3}})
         assert not matches(DOC, {"server_id": {"$ne": 2}})
 
+    def test_ne_is_complement_of_eq_on_arrays(self):
+        """Regression: $ne fanned out existentially over array elements,
+        so ``{"isds": [16, 17, 19]}`` matched both $eq:16 and $ne:16."""
+        assert matches(DOC, {"isds": {"$eq": 16}})
+        assert not matches(DOC, {"isds": {"$ne": 16}})
+        assert matches(DOC, {"isds": {"$ne": 99}})
+        assert not matches(DOC, {"isds": {"$nin": [16]}})
+        assert matches(DOC, {"isds": {"$nin": [99]}})
+
     def test_none_matching(self):
         assert matches(DOC, {"note": None})
 

@@ -95,3 +95,23 @@ class TestSuiteCli:
     def test_main_parallel_mode(self, capsys):
         assert main(["1", "--some_only", "--parallel", "2"]) == 0
         assert "parallel campaign" in capsys.readouterr().out
+
+    def test_main_metrics_flag(self, capsys):
+        assert main(["1", "--some_only", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "batches:" in out
+
+    def test_main_parallel_metrics_and_fail_fast_flags(self, capsys):
+        assert main(
+            ["1", "--some_only", "--parallel", "2", "--metrics", "--fail-fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallel campaign" in out
+        assert "metrics:" in out
+
+    def test_main_parallel_signed(self, capsys):
+        assert main(["1", "--some_only", "--parallel", "2", "--sign"]) == 0
+        out = capsys.readouterr().out
+        assert "signing stats as" in out
+        assert "parallel campaign: 22 stats stored" in out

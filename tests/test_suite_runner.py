@@ -57,6 +57,26 @@ class TestStatsRepository:
         # Buffer was consumed; a retry flush stores nothing stale.
         assert repo.flush() == 0
 
+    def test_lost_last_flush_tracks_per_batch_delta(self):
+        client = DocDBClient()
+
+        def crash(batch):
+            raise DataLossError("boom")
+
+        repo = StatsRepository(client["d"]["s"], flush_hook=crash)
+        repo.add({"_id": "a"})
+        with pytest.raises(DataLossError):
+            repo.flush()
+        repo.add({"_id": "b"})
+        repo.add({"_id": "c"})
+        with pytest.raises(DataLossError):
+            repo.flush()
+        assert repo.lost_last_flush == 2  # the delta, not the cumulative 3
+        assert repo.lost_documents == 3
+        # A clean (empty) flush resets the delta.
+        assert repo.flush() == 0
+        assert repo.lost_last_flush == 0
+
     def test_discard(self):
         repo = StatsRepository(DocDBClient()["d"]["s"])
         repo.add({"_id": "x"})
@@ -164,6 +184,22 @@ class TestRunnerFaultTolerance:
         assert report.stats_stored == 0
         assert report.stats_lost > 0
         assert plan.injected_losses == 2  # one per (iteration, destination)
+
+    def test_two_flush_crashes_do_not_double_count_losses(self, env):
+        """Regression: ``stats_lost`` once re-added the repository's
+        *cumulative* loss counter on every crash, so a second lost batch
+        inflated the total by the first batch again."""
+        host, db, config = env
+        from dataclasses import replace
+
+        plan = FaultPlan(data_loss=DataLossFault(probability=1.0))
+        runner = TestRunner(host, db, replace(config, iterations=2), faults=plan)
+        report = runner.run()
+        n_paths = db[PATHS_COLLECTION].count_documents()
+        assert plan.injected_losses == 2  # two crashed flushes...
+        assert report.stats_lost == 2 * n_paths  # ...each counted once
+        # The cumulative repository counter agrees with the report.
+        assert runner.stats.lost_documents == report.stats_lost
 
     def test_outage_window_definition(self):
         outage = ServerOutage(1, 2, 4)

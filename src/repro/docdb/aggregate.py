@@ -23,6 +23,36 @@ _ACCUMULATORS = frozenset(
     {"$sum", "$avg", "$min", "$max", "$push", "$addToSet", "$first", "$last"}
 )
 
+#: Stages the pipeline executor implements (kept in sync with
+#: ``run_pipeline``'s dispatch; docs/DATABASE.md documents each one).
+SUPPORTED_STAGES = frozenset(
+    {
+        "$match", "$project", "$group", "$sort", "$limit", "$skip",
+        "$unwind", "$count", "$addFields", "$lookup",
+    }
+)
+
+
+def split_leading_match(
+    pipeline: List[Dict[str, Any]]
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Split a pipeline into (leading ``$match`` filter, remaining stages).
+
+    The filter is what :meth:`~repro.docdb.collection.Collection.
+    aggregate` pushes down into the query planner so a leading match can
+    ride an index instead of forcing a full collection scan.  Returns an
+    empty filter when the pipeline does not start with ``$match``.
+    """
+    if (
+        pipeline
+        and isinstance(pipeline[0], dict)
+        and len(pipeline[0]) == 1
+        and "$match" in pipeline[0]
+        and isinstance(pipeline[0]["$match"], dict)
+    ):
+        return pipeline[0]["$match"], list(pipeline[1:])
+    return {}, list(pipeline)
+
 
 def run_pipeline(
     docs: List[Dict[str, Any]], pipeline: List[Dict[str, Any]]

@@ -1,27 +1,61 @@
 """Collections: the Mongo-like document container.
 
 Thread-safe (one RLock per collection — the campaign runner writes from
-a thread pool, §4.1.1), with single-field indexes, a small query
-planner, and an optional document validator hook used by the signed
-statistics pipeline (§4.1.4).
+a thread pool, §4.1.1), with single-field and compound indexes, a
+cost-based query planner (:mod:`repro.docdb.planner`), an LRU+TTL
+query-result cache with epoch-based invalidation
+(:mod:`repro.docdb.cache`), and an optional document validator hook
+used by the signed statistics pipeline (§4.1.4).
+
+Write/epoch contract (the cache-invalidation backbone):
+
+* every mutating *operation* bumps the collection ``epoch`` exactly
+  once — in particular one ``insert_many`` batch is one bump, which is
+  what lets :class:`~repro.suite.storage.StatsRepository` flush a whole
+  destination's measurements while invalidating cached selection
+  queries only once per batch (§4.2.2);
+* cached ``find``/``aggregate``/``count_documents`` results remember
+  the epoch they were computed under and are never served across a
+  bump.
+
+Query statistics (``Collection.stats``):
+
+``inserts``        documents committed
+``scans``          full collection scans executed (``COLLSCAN`` plans)
+``index_hits``     index-answered queries (``IXSCAN``/``IDHACK`` plans)
+``docs_examined``  documents materialised and run through the residual
+                   filter — reconciles with ``explain()``'s
+                   ``executionStats.docsExamined``
+``cache_hits`` / ``cache_misses``   query-result cache outcomes
+``explains``       ``explain()`` calls
 """
 
 from __future__ import annotations
 
 import copy
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.docdb.cache import QueryCache, freeze
 from repro.docdb.document import get_path, normalize_document
-from repro.docdb.index import FieldIndex
+from repro.docdb.index import CompoundIndex, FieldIndex
+from repro.docdb.planner import (
+    STAGE_COLLSCAN,
+    STAGE_FILTER,
+    CandidatePlan,
+    PlanOutcome,
+    QueryPlanner,
+)
 from repro.docdb.query import matches
 from repro.docdb.update import apply_update, is_update_document
 from repro.errors import DuplicateKeyError, QueryError
 
 SortSpec = Sequence[Tuple[str, int]]
 
-_RANGE_OPS = {"$gt", "$gte", "$lt", "$lte"}
+#: Accepted index specifications: a dotted path, a list of paths, or a
+#: Mongo-style list of ``(path, direction)`` pairs.
+IndexSpec = Union[str, Sequence[str], Sequence[Tuple[str, int]]]
 
 
 @dataclass(frozen=True)
@@ -46,25 +80,79 @@ class DeleteResult:
     deleted_count: int
 
 
+def _normalize_index_spec(spec: IndexSpec) -> List[Tuple[str, int]]:
+    """Canonical ``[(path, direction), ...]`` form of an index spec."""
+    if isinstance(spec, str):
+        return [(spec, 1)]
+    out: List[Tuple[str, int]] = []
+    for item in spec:
+        if isinstance(item, str):
+            out.append((item, 1))
+        else:
+            path, direction = item
+            if direction not in (1, -1):
+                raise QueryError(f"index direction must be 1 or -1: {direction}")
+            out.append((str(path), int(direction)))
+    if not out:
+        raise QueryError("index spec must name at least one field")
+    return out
+
+
+def _index_name(fields: List[Tuple[str, int]]) -> str:
+    """Mongo-style name — bare path for single-field (seed compat)."""
+    if len(fields) == 1:
+        return fields[0][0]
+    return "_".join(f"{path}_{direction}" for path, direction in fields)
+
+
 class Collection:
     """One named collection of documents."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        *,
+        cache_capacity: int = 256,
+        cache_ttl_s: Optional[float] = 60.0,
+    ) -> None:
         self.name = name
         self._docs: Dict[Any, Dict[str, Any]] = {}
-        self._indexes: Dict[str, FieldIndex] = {}
+        self._indexes: Dict[str, Union[FieldIndex, CompoundIndex]] = {}
         self._lock = threading.RLock()
         #: Optional hook run on every inserted/updated document; raise to
         #: reject the write (used for signature verification).
         self.validator: Optional[Callable[[Dict[str, Any]], None]] = None
-        #: Counters for the scalability benchmarks.
-        self.stats = {"inserts": 0, "scans": 0, "index_hits": 0}
+        #: Counters for the scalability benchmarks (see module docstring).
+        self.stats = {
+            "inserts": 0,
+            "scans": 0,
+            "index_hits": 0,
+            "docs_examined": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "explains": 0,
+        }
+        self._planner = QueryPlanner(self)
+        self.cache = QueryCache(capacity=cache_capacity, ttl_s=cache_ttl_s)
+        self._epoch = 0
+
+    # -- epoch / cache invalidation ---------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic write-epoch; bumped once per mutating operation."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        """Invalidate cached query results (one bump = one write op)."""
+        self._epoch += 1
 
     # -- inserts ----------------------------------------------------------------
 
     def insert_one(self, doc: Dict[str, Any]) -> InsertOneResult:
         with self._lock:
             stored = self._insert(doc)
+            self._bump_epoch()
             return InsertOneResult(inserted_id=stored["_id"])
 
     def insert_many(self, docs: Iterable[Dict[str, Any]]) -> InsertManyResult:
@@ -72,7 +160,9 @@ class Collection:
 
         This is the operation the paper's §4.2.2 design leans on — the
         runner buffers all statistics for one destination and inserts
-        them in a single call.
+        them in a single call.  The whole batch is **one** epoch bump,
+        so cached selection queries are invalidated once per flush, not
+        once per document.
         """
         with self._lock:
             prepared = [normalize_document(d) for d in docs]
@@ -86,6 +176,8 @@ class Collection:
                     self.validator(d)
             for d in prepared:
                 self._commit_insert(d)
+            if prepared:
+                self._bump_epoch()
             return InsertManyResult(inserted_ids=tuple(ids))
 
     def _insert(self, doc: Dict[str, Any]) -> Dict[str, Any]:
@@ -114,11 +206,25 @@ class Collection:
         limit: int = 0,
         skip: int = 0,
     ) -> List[Dict[str, Any]]:
-        """Return matching documents (deep copies), optionally sorted."""
+        """Return matching documents (deep copies), optionally sorted.
+
+        Results are served from the epoch-keyed query cache when the
+        exact same ``(filter, projection, sort, limit, skip)`` was
+        answered since the last write.
+        """
         flt = flt or {}
+        sort_key = tuple((f, d) for f, d in sort) if sort else None
+        cache_key = freeze(("find", flt, projection, sort_key, limit, skip))
         with self._lock:
-            candidates = self._candidates(flt)
-            out = [copy.deepcopy(d) for d in candidates if matches(d, flt)]
+            epoch = self._epoch
+            if cache_key is not None:
+                cached = self.cache.get(cache_key, epoch)
+                if cached is not None:
+                    self.stats["cache_hits"] += 1
+                    return copy.deepcopy(cached)
+                self.stats["cache_misses"] += 1
+            matched = self._execute_filter(flt)
+            out = [copy.deepcopy(d) for d in matched]
         if sort:
             out = _sorted_docs(out, sort)
         if skip:
@@ -127,6 +233,10 @@ class Collection:
             out = out[:limit]
         if projection:
             out = [_project(d, projection) for d in out]
+        if cache_key is not None:
+            with self._lock:
+                self.cache.put(cache_key, epoch, out)
+            return copy.deepcopy(out)
         return out
 
     def find_one(
@@ -144,7 +254,18 @@ class Collection:
         with self._lock:
             if not flt:
                 return len(self._docs)
-            return sum(1 for d in self._candidates(flt) if matches(d, flt))
+            cache_key = freeze(("count", flt))
+            epoch = self._epoch
+            if cache_key is not None:
+                cached = self.cache.get(cache_key, epoch)
+                if cached is not None:
+                    self.stats["cache_hits"] += 1
+                    return cached
+                self.stats["cache_misses"] += 1
+            n = len(self._execute_filter(flt))
+            if cache_key is not None:
+                self.cache.put(cache_key, epoch, n)
+            return n
 
     def distinct(self, field_path: str, flt: Optional[Dict[str, Any]] = None) -> List[Any]:
         seen: List[Any] = []
@@ -160,46 +281,65 @@ class Collection:
 
     # -- planner ---------------------------------------------------------------------
 
-    def _candidates(self, flt: Dict[str, Any]) -> List[Dict[str, Any]]:
-        """Use the best applicable index to narrow the scan set."""
-        if "_id" in flt and not isinstance(flt["_id"], dict):
-            doc = self._docs.get(flt["_id"])
-            self.stats["index_hits"] += 1
-            return [doc] if doc is not None else []
-        best: Optional[set] = None
-        for path, condition in flt.items():
-            index = self._indexes.get(path)
-            if index is None or path.startswith("$"):
-                continue
-            ids = self._ids_from_index(index, condition)
-            if ids is None:
-                continue
-            if best is None or len(ids) < len(best):
-                best = ids
-        if best is None:
-            self.stats["scans"] += 1
-            return list(self._docs.values())
-        self.stats["index_hits"] += 1
-        return [self._docs[i] for i in best if i in self._docs]
+    def _execute_filter(self, flt: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Plan, fetch candidates, apply the residual filter, count stats.
 
-    @staticmethod
-    def _ids_from_index(index: FieldIndex, condition: Any) -> Optional[set]:
-        if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
-            if "$eq" in condition:
-                return index.ids_equal(condition["$eq"])
-            if "$in" in condition and isinstance(condition["$in"], (list, tuple)):
-                return index.ids_in(condition["$in"])
-            range_kw = {
-                op.lstrip("$"): operand
-                for op, operand in condition.items()
-                if op in _RANGE_OPS
+        Must be called under ``self._lock``.  ``scans`` counts only full
+        collection scans; index-answered queries count ``index_hits``;
+        ``docs_examined`` counts documents actually materialised — the
+        numbers ``explain()`` reports.
+        """
+        outcome = self._planner.plan(flt)
+        return self._run_plan(outcome.winning, flt)
+
+    def _run_plan(
+        self, plan: CandidatePlan, flt: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        candidates, examined = self._planner.fetch(plan)
+        if plan.stage == STAGE_COLLSCAN:
+            self.stats["scans"] += 1
+        else:
+            self.stats["index_hits"] += 1
+        self.stats["docs_examined"] += examined
+        return [d for d in candidates if matches(d, flt)]
+
+    def explain(self, flt: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Plan *and execute* ``flt``, returning a structured plan document.
+
+        The document mirrors Mongo's ``explain("executionStats")`` shape:
+        a ``winningPlan`` stage tree (residual ``FILTER`` over the access
+        stage), ``rejectedPlans`` with their selectivity estimates, and
+        ``executionStats`` whose ``docsExamined`` is exactly the number
+        of documents the query materialised (it reconciles with the
+        ``docs_examined`` counter in :attr:`stats`).
+        """
+        flt = flt or {}
+        with self._lock:
+            self.stats["explains"] += 1
+            outcome: PlanOutcome = self._planner.plan(flt)
+            docs_before = self.stats["docs_examined"]
+            results = self._run_plan(outcome.winning, flt)
+            examined = self.stats["docs_examined"] - docs_before
+            return {
+                "namespace": self.name,
+                "filter": copy.deepcopy(flt),
+                "plannerVersion": 1,
+                "winningPlan": {
+                    "stage": STAGE_FILTER,
+                    "inputStage": outcome.winning.stage_document(),
+                },
+                "rejectedPlans": [
+                    {"stage": STAGE_FILTER, "inputStage": p.stage_document()}
+                    for p in outcome.rejected
+                ],
+                "executionStats": {
+                    "nReturned": len(results),
+                    "docsExamined": examined,
+                    "totalDocsInCollection": len(self._docs),
+                },
+                "cache": self.cache.info(),
+                "epoch": self._epoch,
             }
-            if range_kw:
-                return index.ids_range(**range_kw)
-            return None
-        if isinstance(condition, dict):
-            return None
-        return index.ids_equal(condition)
 
     # -- updates -------------------------------------------------------------------------
 
@@ -239,7 +379,7 @@ class Collection:
         with self._lock:
             matched = 0
             modified = 0
-            for doc in [d for d in self._candidates(flt) if matches(d, flt)]:
+            for doc in self._execute_filter(flt):
                 matched += 1
                 new_doc = apply_update(doc, update)
                 if new_doc != doc:
@@ -260,7 +400,10 @@ class Collection:
                     **update,
                 }
                 stored = self._insert(new_doc)
+                self._bump_epoch()
                 return UpdateResult(0, 0, upserted_id=stored["_id"])
+            if modified:
+                self._bump_epoch()
             return UpdateResult(matched, modified)
 
     def _replace_committed(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
@@ -280,39 +423,99 @@ class Collection:
 
     def _delete(self, flt: Dict[str, Any], *, multi: bool) -> DeleteResult:
         with self._lock:
-            victims = [d for d in self._candidates(flt) if matches(d, flt)]
+            victims = self._execute_filter(flt)
             if not multi:
                 victims = victims[:1]
             for doc in victims:
                 del self._docs[doc["_id"]]
                 for index in self._indexes.values():
                     index.remove(doc)
+            if victims:
+                self._bump_epoch()
             return DeleteResult(deleted_count=len(victims))
 
     # -- indexes --------------------------------------------------------------------------------
 
-    def create_index(self, field_path: str, *, unique: bool = False) -> str:
+    def create_index(self, spec: IndexSpec, *, unique: bool = False) -> str:
+        """Create a single-field or compound index; returns its name.
+
+        ``spec`` accepts a dotted path (``"server_id"``), a list of
+        paths (``["server_id", "timestamp_ms"]``) or Mongo-style
+        ``[("server_id", 1), ("timestamp_ms", 1)]`` pairs.  Single-field
+        indexes keep the bare path as their name (seed compatibility);
+        compound names follow Mongo (``server_id_1_timestamp_ms_1``).
+        """
+        fields = _normalize_index_spec(spec)
+        name = _index_name(fields)
         with self._lock:
-            if field_path not in self._indexes:
-                index = FieldIndex(field_path, unique=unique)
+            if name not in self._indexes:
+                paths = [f for f, _ in fields]
+                index: Union[FieldIndex, CompoundIndex]
+                if len(paths) == 1:
+                    index = FieldIndex(paths[0], unique=unique)
+                else:
+                    index = CompoundIndex(paths, unique=unique)
                 for doc in self._docs.values():
                     index.add(doc)
-                self._indexes[field_path] = index
-            return field_path
+                self._indexes[name] = index
+                self._bump_epoch()  # plans change; drop cached decisions
+            return name
 
-    def drop_index(self, field_path: str) -> None:
+    def drop_index(self, spec: IndexSpec) -> None:
+        """Drop an index by name or by the spec used to create it."""
+        if isinstance(spec, str):
+            name = spec
+        else:
+            name = _index_name(_normalize_index_spec(spec))
         with self._lock:
-            self._indexes.pop(field_path, None)
+            if self._indexes.pop(name, None) is not None:
+                self._bump_epoch()
 
     def list_indexes(self) -> List[str]:
         return sorted(self._indexes)
 
+    def index_information(self) -> Dict[str, Dict[str, Any]]:
+        """Index metadata: ``{name: {"fields": [(path, 1), ...], "unique"}}``."""
+        with self._lock:
+            return {
+                name: {
+                    "fields": [(f, 1) for f in index.fields],
+                    "unique": index.unique,
+                }
+                for name, index in sorted(self._indexes.items())
+            }
+
     # -- aggregation --------------------------------------------------------------------------------
 
     def aggregate(self, pipeline: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        from repro.docdb.aggregate import run_pipeline
+        """Run an aggregation pipeline.
 
-        return run_pipeline(self.find(), pipeline)
+        A leading ``$match`` stage is pushed down into :meth:`find` so
+        it can use an index instead of scanning the collection — this is
+        what keeps the best-path selection query (``$match`` on
+        ``server_id`` over ``paths_stats``) off the full-scan path.
+        Results are cached like ``find`` (pipelines containing live
+        objects, e.g. a ``$lookup`` ``from`` collection, are exempt).
+        """
+        from repro.docdb.aggregate import run_pipeline, split_leading_match
+
+        cache_key = freeze(("aggregate", pipeline))
+        with self._lock:
+            epoch = self._epoch
+            if cache_key is not None:
+                cached = self.cache.get(cache_key, epoch)
+                if cached is not None:
+                    self.stats["cache_hits"] += 1
+                    return copy.deepcopy(cached)
+                self.stats["cache_misses"] += 1
+        match, rest = split_leading_match(pipeline)
+        docs = self.find(match)
+        out = run_pipeline(docs, rest)
+        if cache_key is not None:
+            with self._lock:
+                self.cache.put(cache_key, epoch, out)
+            return copy.deepcopy(out)
+        return out
 
     # -- misc -------------------------------------------------------------------------------------------
 

@@ -40,6 +40,15 @@ _OPERATORS = frozenset(
 _LOGICAL = frozenset({"$and", "$or", "$nor"})
 
 
+def supported_operators() -> frozenset:
+    """Every operator the matcher dispatches on (field-level + logical).
+
+    ``docs/DATABASE.md`` documents each of these; a test diffs the doc's
+    operator table against this set so the reference cannot rot.
+    """
+    return _OPERATORS | _LOGICAL
+
+
 def matches(doc: Dict[str, Any], flt: Dict[str, Any]) -> bool:
     """True if ``doc`` satisfies the filter document ``flt``."""
     if not isinstance(flt, dict):

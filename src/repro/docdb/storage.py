@@ -38,7 +38,17 @@ class JsonlStore:
             coll = db.collection(coll_name)
             tmp = self._path(db.name, coll_name) + ".tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
-                header = {"__meta__": {"indexes": coll.list_indexes()}}
+                # Persist full index *specs* (not just names) so compound
+                # indexes rebuild with their field order intact.
+                index_specs = [
+                    {
+                        "name": name,
+                        "fields": [[f, d] for f, d in info["fields"]],
+                        "unique": info["unique"],
+                    }
+                    for name, info in coll.index_information().items()
+                ]
+                header = {"__meta__": {"indexes": index_specs}}
                 fh.write(json.dumps(header, sort_keys=True) + "\n")
                 for doc in coll.all_documents():
                     fh.write(json.dumps(doc, sort_keys=True) + "\n")
@@ -86,8 +96,14 @@ class JsonlStore:
                     ) from exc
             if docs:
                 coll.insert_many(docs)
-            for field_path in header.get("__meta__", {}).get("indexes", []):
-                coll.create_index(field_path)
+            for spec in header.get("__meta__", {}).get("indexes", []):
+                if isinstance(spec, str):  # legacy snapshot: bare path
+                    coll.create_index(spec)
+                else:
+                    coll.create_index(
+                        [(f, int(d)) for f, d in spec["fields"]],
+                        unique=bool(spec.get("unique", False)),
+                    )
 
 
 class OperationJournal:

@@ -22,7 +22,11 @@ from repro.scion.snet import ScionHost
 from repro.scionlab.defaults import available_server_documents
 from repro.suite.collect import PathsCollector
 from repro.suite.config import SERVERS_COLLECTION, SuiteConfig
-from repro.suite.metrics import format_metrics
+from repro.suite.metrics import (
+    database_stats_snapshot,
+    format_database_stats,
+    format_metrics,
+)
 from repro.suite.parallel import ParallelCampaign
 from repro.suite.runner import TestRunner
 from repro.topology.scionlab import MY_AS, scionlab_network_config
@@ -157,6 +161,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics:
                 block = format_metrics(preport.metrics, indent="  ")
                 print("metrics:" + ("\n" + block if block else " (none)"))
+                db_block = format_database_stats(database_stats_snapshot(db))
+                if db_block:
+                    print(db_block)
         else:
             report = TestRunner(
                 host, db, config, signer=signer, signer_subject=signer_subject
@@ -170,6 +177,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics:
                 block = format_metrics(report.metrics, indent="  ")
                 print("metrics:" + ("\n" + block if block else " (none)"))
+                db_block = format_database_stats(database_stats_snapshot(db))
+                if db_block:
+                    print(db_block)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -40,6 +40,25 @@ BATCH_SIZE = "batch_size"
 DEST_WALL_S = "destination_wall_s"
 DEST_SIM_S = "destination_sim_s"
 
+# Database/query-planner counters (folded from ``Collection.stats`` by
+# :func:`database_stats_snapshot` — read-time aggregation, deliberately
+# NOT recorded per-destination so worker scheduling cannot perturb the
+# per-runner snapshots the determinism tests compare byte-for-byte).
+DB_COLLSCANS = "db_collection_scans"
+DB_INDEX_HITS = "db_index_hits"
+DB_DOCS_EXAMINED = "db_docs_examined"
+DB_CACHE_HITS = "db_query_cache_hits"
+DB_CACHE_MISSES = "db_query_cache_misses"
+
+#: ``Collection.stats`` key -> canonical instrument name.
+_DB_STAT_NAMES = {
+    "scans": DB_COLLSCANS,
+    "index_hits": DB_INDEX_HITS,
+    "docs_examined": DB_DOCS_EXAMINED,
+    "cache_hits": DB_CACHE_HITS,
+    "cache_misses": DB_CACHE_MISSES,
+}
+
 
 class MetricsRegistry:
     """Thread-safe counters + histograms, snapshotted as a plain dict."""
@@ -137,6 +156,51 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "counters": {k: counters[k] for k in sorted(counters)},
         "histograms": {k: histograms[k] for k in sorted(histograms)},
     }
+
+
+def database_stats_snapshot(db: Any) -> Dict[str, Any]:
+    """Fold every collection's planner/cache counters into one snapshot.
+
+    ``db`` is a :class:`~repro.docdb.database.Database`.  Returns a
+    metrics-shaped dict (``{"version", "counters", "histograms"}``) with
+    both database-wide totals under the canonical ``db_*`` names and
+    per-collection counters under ``db.<collection>.<stat>`` — the
+    "planner counters folded into suite metrics" surface the CLI prints
+    with ``--metrics``.
+    """
+    counters: Dict[str, float] = {}
+    for coll_name in db.list_collection_names():
+        stats = db[coll_name].stats
+        for stat_key, canonical in _DB_STAT_NAMES.items():
+            value = float(stats.get(stat_key, 0))
+            counters[canonical] = counters.get(canonical, 0.0) + value
+            counters[f"db.{coll_name}.{stat_key}"] = value
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {},
+    }
+
+
+def format_database_stats(
+    snapshot: Optional[Dict[str, Any]], *, indent: str = "  "
+) -> str:
+    """Human-readable query-planner block (empty when nothing recorded)."""
+    if not snapshot:
+        return ""
+    hits = counter_value(snapshot, DB_INDEX_HITS)
+    scans = counter_value(snapshot, DB_COLLSCANS)
+    examined = counter_value(snapshot, DB_DOCS_EXAMINED)
+    cache_h = counter_value(snapshot, DB_CACHE_HITS)
+    cache_m = counter_value(snapshot, DB_CACHE_MISSES)
+    if not any((hits, scans, examined, cache_h, cache_m)):
+        return ""
+    lines = [
+        f"{indent}query planner: {hits:g} index hits, {scans:g} collection "
+        f"scans, {examined:g} docs examined",
+        f"{indent}query cache: {cache_h:g} hits / {cache_m:g} misses",
+    ]
+    return "\n".join(lines)
 
 
 def format_metrics(snapshot: Optional[Dict[str, Any]], *, indent: str = "  ") -> str:

@@ -136,6 +136,10 @@ class TestRunner:
         stats_coll = db[STATS_COLLECTION]
         stats_coll.create_index("path_id")
         stats_coll.create_index("server_id")
+        # The best-path hot path filters on (server_id, timestamp_ms >= t):
+        # a compound index answers it with an equality prefix + range on
+        # the trailing field (see docs/DATABASE.md, "Compound indexes").
+        stats_coll.create_index([("server_id", 1), ("timestamp_ms", 1)])
         self.stats = StatsRepository(
             stats_coll,
             signer=signer,

@@ -10,6 +10,14 @@ lost without unbalancing the number of samples for each path."
 :class:`StatsRepository` implements exactly that: ``add`` buffers,
 ``flush`` commits the whole buffer with one ``insert_many``.  Optional
 signing authenticates every document (§4.1.4).
+
+Cache coupling: one ``insert_many`` batch bumps the collection's write
+*epoch* exactly once (see :mod:`repro.docdb.cache`), so every cached
+selection query — and the memoized best-path answers in
+:class:`~repro.upin.controller.PathController` — is invalidated once
+per measurement batch, not once per document.  Between campaign
+flushes the epoch is stable and repeated user queries are served from
+cache.
 """
 
 from __future__ import annotations
@@ -57,6 +65,16 @@ class StatsRepository:
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+    @property
+    def epoch(self) -> int:
+        """The backing collection's write epoch.
+
+        Advances by exactly one per successful :meth:`flush` (the batch
+        is a single ``insert_many``), which is the signal query caches
+        and the controller's best-path memo key on.
+        """
+        return self.collection.epoch
 
     def add(self, doc: Dict[str, Any]) -> None:
         """Buffer one statistics document (signing it if configured)."""

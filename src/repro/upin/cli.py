@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     intent.add_argument("--exclude-isd", type=int, nargs="*", default=[])
     intent.add_argument("--max-latency-ms", type=float, default=None)
     intent.add_argument("--max-loss-pct", type=float, default=None)
+    intent.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the query plan behind the best-path lookup and "
+        "the controller's selection-memo counters",
+    )
 
     whatif = sub.add_parser(
         "whatif",
@@ -153,7 +159,23 @@ def _dispatch(args: argparse.Namespace) -> str:
             max_loss_pct=args.max_loss_pct,
         )
         outcome = frontend.submit_intent(args.user, request)
-        return outcome.format_text()
+        text = outcome.format_text()
+        if args.explain:
+            from repro.docdb.planner import format_plan
+            from repro.suite.config import STATS_COLLECTION
+
+            plan = frontend.db[STATS_COLLECTION].explain(
+                {"server_id": args.server_id}
+            )
+            info = frontend.controller.selection_cache_info()
+            text += (
+                "\nbest-path query plan:\n"
+                + format_plan(plan, indent="  ")
+                + "\nselection memo: "
+                + f"{info['hits']} hits / {info['misses']} misses "
+                + f"({info['size']} cached)"
+            )
+        return text
 
     if args.command == "whatif":
         from repro.analysis.whatif import ExclusionPolicy, path_diversity

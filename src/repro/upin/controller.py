@@ -7,20 +7,61 @@ rule — picking a path pins the whole route — so the controller's job
 collapses to: run the selection engine, resolve the winning sequence to
 a concrete path, and record the active flow rule for tracing and
 verification.
+
+Selection memoization
+---------------------
+Running the selection engine means aggregating every ``paths_stats``
+sample for the destination — the most expensive query in the system.
+Between measurement campaigns that data does not change, so the
+controller memoizes :class:`~repro.selection.engine.SelectionResult`
+on the key ``(destination, constraint-set, paths-epoch, stats-epoch)``:
+
+* the *constraint-set* is the full user intent (metric, weights,
+  exclusions, hard limits), canonicalised by :func:`request_cache_key`;
+* the *epochs* are the write epochs of the ``paths`` and
+  ``paths_stats`` collections, which :class:`~repro.suite.storage.
+  StatsRepository` bumps exactly once per batch flush.
+
+Repeated identical intents between campaigns are therefore O(1)
+dictionary hits; the first intent after a batch lands recomputes and
+re-caches.  Memoized :class:`SelectionResult` objects are shared — they
+are treated as immutable by every consumer.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import NoPathError
 from repro.scion.path import Path
 from repro.scion.snet import ScionHost
 from repro.selection.engine import PathSelector, SelectionResult
 from repro.selection.request import UserRequest
-from repro.suite.config import SERVERS_COLLECTION
+from repro.suite.config import PATHS_COLLECTION, SERVERS_COLLECTION, STATS_COLLECTION
 from repro.topology.isd_as import ISDAS
+
+
+def request_cache_key(request: UserRequest) -> Tuple[Any, ...]:
+    """Canonical hashable form of a user intent (the constraint-set).
+
+    Two requests with the same destination, metric, weights, exclusion
+    sets and hard limits map to the same key regardless of the
+    iteration order of their underlying dicts/sets.
+    """
+    return (
+        request.server_id,
+        request.metric.value,
+        tuple(sorted(request.weights.items())),
+        tuple(sorted(request.exclude_countries)),
+        tuple(sorted(request.exclude_operators)),
+        tuple(sorted(request.exclude_ases)),
+        tuple(sorted(request.exclude_isds)),
+        request.max_latency_ms,
+        request.max_loss_pct,
+        request.min_bandwidth_down_mbps,
+    )
 
 
 @dataclass(frozen=True)
@@ -36,16 +77,82 @@ class FlowRule:
 
 
 class PathController:
-    """Applies user intents by pinning SCION paths."""
+    """Applies user intents by pinning SCION paths.
 
-    def __init__(self, host: ScionHost, selector: PathSelector) -> None:
+    One controller serves one UPIN domain; it owns the table of active
+    flow rules and the best-path selection memo described in the module
+    docstring.
+    """
+
+    def __init__(
+        self,
+        host: ScionHost,
+        selector: PathSelector,
+        *,
+        selection_cache_size: int = 128,
+    ) -> None:
         self.host = host
         self.selector = selector
         self._flows: Dict[Tuple[str, int], FlowRule] = {}
+        # (constraint-key, paths-epoch, stats-epoch) -> SelectionResult
+        self._selection_cache: "OrderedDict[Tuple[Any, ...], SelectionResult]" = (
+            OrderedDict()
+        )
+        self._selection_cache_size = max(1, selection_cache_size)
+        self.selection_cache_hits = 0
+        self.selection_cache_misses = 0
+
+    # -- selection memo ----------------------------------------------------------
+
+    def _epochs(self) -> Tuple[int, int]:
+        """Write epochs of the two collections a selection depends on."""
+        db = self.selector.db
+        return (db[PATHS_COLLECTION].epoch, db[STATS_COLLECTION].epoch)
+
+    def cached_select(self, request: UserRequest) -> SelectionResult:
+        """Selection engine result, memoized per (intent, data epoch).
+
+        A hit costs one dict lookup; a miss runs the full
+        aggregate-filter-score pipeline and caches the outcome until
+        the next measurement batch bumps either collection's epoch.
+        """
+        key = (request_cache_key(request),) + self._epochs()
+        cached = self._selection_cache.get(key)
+        if cached is not None:
+            self._selection_cache.move_to_end(key)
+            self.selection_cache_hits += 1
+            return cached
+        self.selection_cache_misses += 1
+        result = self.selector.select(request)
+        self._selection_cache[key] = result
+        while len(self._selection_cache) > self._selection_cache_size:
+            self._selection_cache.popitem(last=False)
+        return result
+
+    def selection_cache_info(self) -> Dict[str, int]:
+        """Memo counters: ``{"size", "hits", "misses"}`` (for CLI/metrics)."""
+        return {
+            "size": len(self._selection_cache),
+            "hits": self.selection_cache_hits,
+            "misses": self.selection_cache_misses,
+        }
+
+    def clear_selection_cache(self) -> int:
+        """Drop every memoized selection; returns the number removed."""
+        n = len(self._selection_cache)
+        self._selection_cache.clear()
+        return n
+
+    # -- intents -----------------------------------------------------------------
 
     def apply_intent(self, user: str, request: UserRequest) -> FlowRule:
-        """Select a path for the intent and install the flow rule."""
-        selection = self.selector.select(request)
+        """Select a path for the intent and install the flow rule.
+
+        Raises :class:`~repro.errors.NoPathError` when no admissible
+        path exists, the destination is unknown, or the selected
+        sequence can no longer be resolved to a live path.
+        """
+        selection = self.cached_select(request)
         if selection.best is None:
             raise NoPathError(
                 f"no admissible path for user {user!r} to server {request.server_id}"
@@ -73,10 +180,13 @@ class PathController:
         return rule
 
     def active_flow(self, user: str, server_id: int) -> Optional[FlowRule]:
+        """The installed rule for ``(user, server_id)``, or None."""
         return self._flows.get((user, server_id))
 
     def flows(self) -> List[FlowRule]:
+        """Every installed flow rule, ordered by ``(user, server_id)``."""
         return [self._flows[k] for k in sorted(self._flows)]
 
     def withdraw(self, user: str, server_id: int) -> bool:
+        """Remove a flow rule; True if one was installed."""
         return self._flows.pop((user, server_id), None) is not None

@@ -7,6 +7,15 @@ the topology itself (placement, country, operator, role) enriched with
 the trust information SCION exposes (which ISD certifies the AS), and
 it is stored in a database collection so the selection engine and the
 front-end query nodes the same way the suite queries measurements.
+
+Query surface
+-------------
+:meth:`DomainExplorer.explore` publishes one document per AS into the
+``domain_nodes`` collection and creates single-field indexes on
+``country`` and ``operator`` — the two fields every front-end lookup
+filters on, so :meth:`nodes_in_country` and :meth:`nodes_of_operator`
+are answered by IXSCAN rather than a collection scan (see
+``docs/DATABASE.md``, "Index creation").
 """
 
 from __future__ import annotations
@@ -29,7 +38,13 @@ class DomainExplorer:
         self.db = db
 
     def explore(self) -> int:
-        """(Re)publish every AS's metadata; returns node count."""
+        """(Re)publish every AS's metadata; returns node count.
+
+        Idempotent: each AS document is upserted under its ISD-AS
+        string, so repeated calls refresh rather than duplicate.  Also
+        (re)creates the ``country`` and ``operator`` indexes the query
+        helpers below rely on.
+        """
         coll = self.db[NODES_COLLECTION]
         coll.create_index("country")
         coll.create_index("operator")

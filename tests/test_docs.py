@@ -1,0 +1,60 @@
+"""The documentation is part of tier-1: links resolve, examples run.
+
+CI has a dedicated ``docs`` job running the same two checks
+(``tools/check_md_links.py`` and ``python -m doctest
+docs/DATABASE.md``); these tests keep them enforced locally too.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import os
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+
+
+def _load_link_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_md_links",
+        os.path.join(REPO_ROOT, "tools", "check_md_links.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve(capsys):
+    checker = _load_link_checker()
+    broken = checker.main([])
+    output = capsys.readouterr().out
+    assert broken == 0, f"broken documentation links:\n{output}"
+    # The default set must include the database reference.
+    assert any("DATABASE.md" in f for f in checker.default_files())
+
+
+def test_database_md_doctest():
+    results = doctest.testfile(
+        os.path.join(REPO_ROOT, "docs", "DATABASE.md"),
+        module_relative=False,
+        verbose=False,
+    )
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_link_checker_detects_breakage(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "# Title\n\n[ok](#title)\n[bad](#missing-anchor)\n"
+        "[gone](no_such_file.md)\n",
+        encoding="utf-8",
+    )
+    checker = _load_link_checker()
+    broken = checker.check_file(str(bad))
+    assert {reason.split(":")[0] for _, reason in broken} == {
+        "no such heading anchor",
+        "missing file",
+    }

@@ -201,3 +201,68 @@ class TestUpdateLaws:
         snapshot = copy.deepcopy(doc)
         apply_update(doc, {"$set": {"zz": 1}, "$unset": {"a": ""}})
         assert doc == snapshot
+
+
+class TestPlannerCacheLaws:
+    """The planner/cache stack must be invisible: any access path —
+    linear scan, single-field index, compound index, warm cache —
+    returns exactly the brute-force `matches()` result set."""
+
+    @given(st.lists(flat_documents, max_size=25), numbers, numbers)
+    @settings(max_examples=50)
+    def test_all_access_paths_agree_with_brute_force(
+        self, docs, eq_value, threshold
+    ):
+        stored = [dict(doc, _id=i) for i, doc in enumerate(docs)]
+        plain = Collection("scan")
+        single = Collection("single")
+        single.create_index("a")
+        single.create_index("lat")
+        compound = Collection("compound")
+        compound.create_index([("a", 1), ("lat", 1)])
+        for coll in (plain, single, compound):
+            if stored:
+                coll.insert_many(copy.deepcopy(stored))
+        filters = [
+            {"a": eq_value},
+            {"a": eq_value, "lat": {"$gte": threshold}},
+            {"lat": {"$gte": threshold, "$lte": threshold + 50}},
+            {"a": {"$in": [eq_value, eq_value + 1]}},
+        ]
+        for flt in filters:
+            brute = sorted(
+                (d["_id"] for d in stored if matches(d, flt)), key=str
+            )
+            for coll in (plain, single, compound):
+                first = sorted((d["_id"] for d in coll.find(flt)), key=str)
+                cached = sorted((d["_id"] for d in coll.find(flt)), key=str)
+                assert first == brute, (coll.name, flt)
+                assert cached == brute, (coll.name, flt)
+
+    @given(
+        st.lists(
+            st.lists(flat_documents, min_size=1, max_size=5), max_size=5
+        ),
+        numbers,
+    )
+    @settings(max_examples=50)
+    def test_cache_never_stale_across_batches(self, batches, threshold):
+        coll = Collection("t")
+        coll.create_index("lat")
+        flt = {"lat": {"$gte": threshold}}
+        all_docs = []
+        next_id = 0
+        for batch in batches:
+            prepared = [
+                dict(d, _id=next_id + i) for i, d in enumerate(batch)
+            ]
+            next_id += len(prepared)
+            coll.insert_many(copy.deepcopy(prepared))
+            all_docs.extend(prepared)
+            expected = sorted(
+                d["_id"] for d in all_docs if matches(d, flt)
+            )
+            # Fresh answer after the batch's single epoch bump...
+            assert sorted(d["_id"] for d in coll.find(flt)) == expected
+            # ...and the immediately-cached repeat is identical.
+            assert sorted(d["_id"] for d in coll.find(flt)) == expected

@@ -1,12 +1,19 @@
 #!/usr/bin/env python
 """Continuous monitoring: the test-suite as a long-running service.
 
-Runs periodic measurement rounds on the simulation clock (the §4.1.2
-"continuous functioning" requirement), lets a congestion episode hit
-mid-run, then shows the operator-facing outcome: the time-series
-analysis pinpoints the loss window, retention pruning bounds the
-database, and a time-windowed selection query routes a user around the
-trouble using only fresh samples.
+Act one runs periodic measurement rounds on the simulation clock (the
+§4.1.2 "continuous functioning" requirement), lets a congestion
+episode hit mid-run, then shows the operator-facing outcome: the
+time-series analysis pinpoints the loss window, retention pruning
+bounds the database, and a time-windowed selection query routes a
+user around the trouble using only fresh samples.
+
+Act two closes the loop: the flow health monitor watches an installed
+intent through the scripted outage — congestion breaches the SLO,
+K-of-N hysteresis trips, the flow fails over; later an interface
+revocation kills the replacement path and forces a second, immediate
+failover.  Every decision lands in the ``flow_events`` journal,
+including detection→recovery latency.
 
 Run:  python examples/continuous_monitoring.py
 """
@@ -17,6 +24,7 @@ from repro.analysis.timeseries import (
     temporal_concentration,
 )
 from repro.docdb.client import DocDBClient
+from repro.monitor.scenario import run_outage_scenario
 from repro.netsim.congestion import CongestionEpisode
 from repro.scion.snet import ScionHost
 from repro.selection.engine import PathSelector
@@ -90,6 +98,23 @@ def main() -> None:
         f"\nretention: pruned {removed} of {before} samples "
         f"({db[STATS_COLLECTION].count_documents()} kept)"
     )
+
+    # -- act two: the flow health monitor rides the same kind of loop ---------
+    print("\n== flow health monitor: scripted outage ==")
+    scenario = run_outage_scenario(rounds=8)
+    print(scenario.monitor.format_status())
+    print()
+    print(scenario.format_summary())
+    print()
+    print(scenario.journal.failover_report())
+    violated = any(
+        doc.get("to") == "violated" for doc in scenario.journal.transitions()
+    )
+    assert violated, "expected an SLO violation in the scripted outage"
+    assert scenario.journal.failovers(), "expected at least one failover"
+    final = scenario.monitor.tracker.counts_by_state()
+    assert final.get("ok", 0) >= 1, "flow should end the episode healthy"
+    print("\nmonitor outcome: OK -> VIOLATED -> failed over -> OK  [verified]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,52 @@
+"""Flow health monitoring: keep installed flows inside their SLA.
+
+The paper's UPIN pipeline hands a user the best path *once* (§2.1,
+§4.3); this package closes the loop for a deployed path-control domain.
+It watches every installed :class:`~repro.upin.controller.FlowRule`
+against a per-flow SLO, folds fresh ``paths_stats`` samples and
+targeted SCMP probes into hysteresis-filtered health state, reacts to
+interface revocations, and — when a flow goes VIOLATED or DEAD — re-runs
+selection with the failed path excluded and atomically swaps the flow
+rule.  Every observation and decision lands in an append-only journal
+(the ``flow_events`` collection) so the whole episode can be audited,
+replayed, and reported from the CLI.
+
+Modules
+-------
+``slo``          per-flow service-level objectives derived from the intent
+``health``       EWMA health tracker with K-of-N breach hysteresis
+``revocation``   interface revocations (control plane + netsim blackout)
+``failover``     reselect-and-swap engine with cooldown suppression
+``journal``      append-only structured event journal + failover report
+``loop``         the per-round control loop wired into the scheduler
+``scenario``     a scripted, deterministic outage/failover demo world
+"""
+
+from repro.monitor.failover import FailoverEngine, FailoverOutcome
+from repro.monitor.health import FlowHealth, FlowHealthTracker, HealthSample
+from repro.monitor.journal import (
+    EVENT_TYPES,
+    FLOW_EVENTS_COLLECTION,
+    FlowEventJournal,
+)
+from repro.monitor.loop import FlowMonitor
+from repro.monitor.revocation import Revocation, RevocationStore
+from repro.monitor.scenario import OutageScenario, run_outage_scenario
+from repro.monitor.slo import FlowSLO
+
+__all__ = [
+    "EVENT_TYPES",
+    "FLOW_EVENTS_COLLECTION",
+    "FailoverEngine",
+    "FailoverOutcome",
+    "FlowEventJournal",
+    "FlowHealth",
+    "FlowHealthTracker",
+    "FlowMonitor",
+    "FlowSLO",
+    "HealthSample",
+    "OutageScenario",
+    "Revocation",
+    "RevocationStore",
+    "run_outage_scenario",
+]

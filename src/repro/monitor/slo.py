@@ -1,0 +1,145 @@
+"""Per-flow service-level objectives.
+
+A user intent already carries *hard* admission limits
+(``max_latency_ms``, ``max_loss_pct``, ``min_bandwidth_down_mbps``);
+the SLO turns them into a *continuing* promise the monitor enforces
+while the network changes.  Limits the request leaves unset fall back
+to domain defaults, so even a "just give me the lowest latency" intent
+is protected against blackouts and dead paths.
+
+The hysteresis shape (K-of-N breach before alarm, cooldown before the
+next failover) lives here too because it is a per-flow quality knob: a
+VoIP flow may want K=2/N=3 and a short cooldown, a bulk transfer can
+tolerate K=4/N=6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ValidationError
+from repro.selection.request import UserRequest
+
+#: Domain defaults for limits an intent leaves open.
+DEFAULT_MAX_LOSS_PCT = 50.0
+DEFAULT_MAX_STALENESS_S = 1800.0
+DEFAULT_BREACH_K = 2
+DEFAULT_WINDOW_N = 3
+DEFAULT_COOLDOWN_S = 120.0
+
+
+@dataclass(frozen=True)
+class FlowSLO:
+    """The promise the monitor keeps for one installed flow.
+
+    ``None`` limits are unconstrained.  ``breach_k`` of the last
+    ``window_n`` health samples must breach before the flow is declared
+    VIOLATED (the K-of-N alarm), and after a failover the flow may not
+    fail over again for ``cooldown_s`` simulated seconds (flap
+    damping) — except on a revocation, which kills the path outright.
+    """
+
+    max_latency_ms: Optional[float] = None
+    max_loss_pct: float = DEFAULT_MAX_LOSS_PCT
+    min_bandwidth_down_mbps: Optional[float] = None
+    max_staleness_s: float = DEFAULT_MAX_STALENESS_S
+    breach_k: int = DEFAULT_BREACH_K
+    window_n: int = DEFAULT_WINDOW_N
+    cooldown_s: float = DEFAULT_COOLDOWN_S
+
+    def __post_init__(self) -> None:
+        if self.max_latency_ms is not None and self.max_latency_ms <= 0:
+            raise ValidationError("max_latency_ms must be positive")
+        if not (0.0 < self.max_loss_pct <= 100.0):
+            raise ValidationError("max_loss_pct must be in (0, 100]")
+        if (
+            self.min_bandwidth_down_mbps is not None
+            and self.min_bandwidth_down_mbps <= 0
+        ):
+            raise ValidationError("min_bandwidth_down_mbps must be positive")
+        if self.max_staleness_s <= 0:
+            raise ValidationError("max_staleness_s must be positive")
+        if self.window_n < 1:
+            raise ValidationError("window_n must be >= 1")
+        if not (1 <= self.breach_k <= self.window_n):
+            raise ValidationError("breach_k must be in [1, window_n]")
+        if self.cooldown_s < 0:
+            raise ValidationError("cooldown_s must be >= 0")
+
+    @classmethod
+    def from_request(
+        cls,
+        request: UserRequest,
+        *,
+        latency_headroom: float = 1.5,
+        max_staleness_s: float = DEFAULT_MAX_STALENESS_S,
+        breach_k: int = DEFAULT_BREACH_K,
+        window_n: int = DEFAULT_WINDOW_N,
+        cooldown_s: float = DEFAULT_COOLDOWN_S,
+    ) -> "FlowSLO":
+        """Derive the SLO from the originating intent.
+
+        Hard limits are adopted verbatim where the user stated them —
+        except latency, which gets ``latency_headroom`` slack so a path
+        admitted *at* the limit is not instantly breached by jitter.
+        Loss falls back to :data:`DEFAULT_MAX_LOSS_PCT` when unset; a
+        flow with no loss bound at all could never be declared dead.
+        """
+        if latency_headroom < 1.0:
+            raise ValidationError("latency_headroom must be >= 1")
+        max_latency = (
+            request.max_latency_ms * latency_headroom
+            if request.max_latency_ms is not None
+            else None
+        )
+        max_loss = (
+            request.max_loss_pct
+            if request.max_loss_pct is not None
+            else DEFAULT_MAX_LOSS_PCT
+        )
+        return cls(
+            max_latency_ms=max_latency,
+            max_loss_pct=max_loss,
+            min_bandwidth_down_mbps=request.min_bandwidth_down_mbps,
+            max_staleness_s=max_staleness_s,
+            breach_k=breach_k,
+            window_n=window_n,
+            cooldown_s=cooldown_s,
+        )
+
+    # -- (de)serialisation for the journal ------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        return {
+            "max_latency_ms": self.max_latency_ms,
+            "max_loss_pct": self.max_loss_pct,
+            "min_bandwidth_down_mbps": self.min_bandwidth_down_mbps,
+            "max_staleness_s": self.max_staleness_s,
+            "breach_k": self.breach_k,
+            "window_n": self.window_n,
+            "cooldown_s": self.cooldown_s,
+        }
+
+    @classmethod
+    def from_document(cls, doc: Dict[str, Any]) -> "FlowSLO":
+        return cls(
+            max_latency_ms=doc.get("max_latency_ms"),
+            max_loss_pct=float(doc["max_loss_pct"]),
+            min_bandwidth_down_mbps=doc.get("min_bandwidth_down_mbps"),
+            max_staleness_s=float(doc["max_staleness_s"]),
+            breach_k=int(doc["breach_k"]),
+            window_n=int(doc["window_n"]),
+            cooldown_s=float(doc["cooldown_s"]),
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.max_latency_ms is not None:
+            parts.append(f"latency<={self.max_latency_ms:g}ms")
+        parts.append(f"loss<={self.max_loss_pct:g}%")
+        if self.min_bandwidth_down_mbps is not None:
+            parts.append(f"bw>={self.min_bandwidth_down_mbps:g}Mbps")
+        parts.append(f"{self.breach_k}-of-{self.window_n}")
+        parts.append(f"cooldown {self.cooldown_s:g}s")
+        return " ".join(parts)

@@ -129,6 +129,8 @@ class PathSelector:
     def _violations(self, agg: PathAggregate, request: UserRequest) -> List[str]:
         """Why this path is inadmissible (empty = admissible)."""
         reasons: List[str] = []
+        if agg.path_id in request.exclude_paths:
+            reasons.append("path explicitly excluded (failover/revocation)")
         for ia_str in agg.ases:
             asys = self.topology.as_of(ia_str)
             if asys.country.upper() in request.exclude_countries:

@@ -41,6 +41,9 @@ class UserRequest:
     exclude_operators: FrozenSet[str] = frozenset()
     exclude_ases: FrozenSet[str] = frozenset()
     exclude_isds: FrozenSet[int] = frozenset()
+    #: Specific stored path ids to avoid — the failover engine's channel
+    #: for "anything but the path that just died / was revoked".
+    exclude_paths: FrozenSet[str] = frozenset()
 
     # -- hard performance requirements ---------------------------------------------
     max_latency_ms: Optional[float] = None
@@ -66,6 +69,7 @@ class UserRequest:
         exclude_operators: Iterable[str] = (),
         exclude_ases: Iterable[str] = (),
         exclude_isds: Iterable[int] = (),
+        exclude_paths: Iterable[str] = (),
         max_latency_ms: Optional[float] = None,
         max_loss_pct: Optional[float] = None,
         min_bandwidth_down_mbps: Optional[float] = None,
@@ -79,6 +83,7 @@ class UserRequest:
             exclude_operators=frozenset(exclude_operators),
             exclude_ases=frozenset(str(a) for a in exclude_ases),
             exclude_isds=frozenset(int(i) for i in exclude_isds),
+            exclude_paths=frozenset(str(p) for p in exclude_paths),
             max_latency_ms=max_latency_ms,
             max_loss_pct=max_loss_pct,
             min_bandwidth_down_mbps=min_bandwidth_down_mbps,

@@ -40,6 +40,20 @@ BATCH_SIZE = "batch_size"
 DEST_WALL_S = "destination_wall_s"
 DEST_SIM_S = "destination_sim_s"
 
+# Flow-health monitor counters (recorded by ``repro.monitor.loop`` into
+# its own registry and folded into the campaign view the same way the
+# planner counters are — see docs/MONITOR.md).
+MON_PROBES = "monitor_probes_sent"
+MON_SAMPLES = "monitor_samples"
+MON_BREACHES = "monitor_breaches"
+MON_TRANSITIONS = "monitor_transitions"
+MON_FLAPS_SUPPRESSED = "monitor_flaps_suppressed"
+MON_FAILOVERS = "monitor_failovers"
+MON_FAILOVERS_FAILED = "monitor_failovers_failed"
+MON_REVOCATIONS = "monitor_revocations"
+MON_MTTR_S = "monitor_time_to_repair_s"
+MON_ROUND_WALL_S = "monitor_round_wall_s"
+
 # Database/query-planner counters (folded from ``Collection.stats`` by
 # :func:`database_stats_snapshot` — read-time aggregation, deliberately
 # NOT recorded per-destination so worker scheduling cannot perturb the
@@ -230,6 +244,19 @@ def format_metrics(snapshot: Optional[Dict[str, Any]], *, indent: str = "  ") ->
         lines.append(
             f"{indent}flush failures: {failures:g} ({lost:g} documents lost)"
         )
+    probes = counter_value(snapshot, MON_PROBES)
+    breaches = counter_value(snapshot, MON_BREACHES)
+    failovers = counter_value(snapshot, MON_FAILOVERS)
+    if probes or breaches or failovers:
+        suppressed = counter_value(snapshot, MON_FLAPS_SUPPRESSED)
+        mttr = histogram_stats(snapshot, MON_MTTR_S)
+        line = (
+            f"{indent}monitor: {probes:g} probes, {breaches:g} breaches, "
+            f"{failovers:g} failovers ({suppressed:g} flaps suppressed)"
+        )
+        if mttr and mttr["count"]:
+            line += f", MTTR {mttr['total'] / mttr['count']:.1f} sim s"
+        lines.append(line)
     wall = histogram_stats(snapshot, DEST_WALL_S)
     sim = histogram_stats(snapshot, DEST_SIM_S)
     if wall and sim and wall["count"]:

@@ -16,7 +16,7 @@ compose on one time axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.docdb.database import Database
 from repro.errors import ValidationError
@@ -82,6 +82,7 @@ class MonitoringScheduler:
         period_s: float,
         recollect_every: int = 5,
         faults: Optional[FaultPlan] = None,
+        round_hooks: Optional[Sequence[Callable[[RoundRecord], None]]] = None,
     ) -> None:
         if period_s <= 0:
             raise ValidationError("monitoring period must be positive")
@@ -95,6 +96,16 @@ class MonitoringScheduler:
         self.collector = PathsCollector(host, db, config)
         self.runner = TestRunner(host, db, config, faults=faults)
         self.events = EventQueue(host.clock)
+        #: Called with each finished :class:`RoundRecord`, in order, on
+        #: the simulation clock — this is how :class:`~repro.monitor.
+        #: loop.FlowMonitor.after_round` plugs into the round cadence.
+        self.round_hooks: List[Callable[[RoundRecord], None]] = list(
+            round_hooks or []
+        )
+
+    def add_round_hook(self, hook: Callable[[RoundRecord], None]) -> None:
+        """Register ``hook`` to run after every measurement round."""
+        self.round_hooks.append(hook)
 
     def run(self, *, rounds: int) -> MonitoringReport:
         """Execute ``rounds`` monitoring rounds; returns the report.
@@ -118,17 +129,18 @@ class MonitoringScheduler:
             if recollected:
                 self.collector.collect()
             campaign = self.runner.run(iterations=1)
-            report.rounds.append(
-                RoundRecord(
-                    index=index,
-                    scheduled_at_s=boundary,
-                    started_at_s=started,
-                    finished_at_s=self.host.clock.now_s,
-                    recollected=recollected,
-                    stats_stored=campaign.stats_stored,
-                    errors=campaign.measurement_errors,
-                )
+            record = RoundRecord(
+                index=index,
+                scheduled_at_s=boundary,
+                started_at_s=started,
+                finished_at_s=self.host.clock.now_s,
+                recollected=recollected,
+                stats_stored=campaign.stats_stored,
+                errors=campaign.measurement_errors,
             )
+            report.rounds.append(record)
+            for hook in self.round_hooks:
+                hook(record)
             if index + 1 < rounds:
                 schedule_round(index + 1)
 

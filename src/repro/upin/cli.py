@@ -75,6 +75,29 @@ def build_parser() -> argparse.ArgumentParser:
         "the controller's selection-memo counters",
     )
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="flow-health monitoring: run the scripted outage scenario "
+        "and inspect its journal",
+    )
+    monitor.add_argument(
+        "action", choices=["status", "events", "failover-report"],
+        help="status: per-flow health table; events: the flow_events "
+        "journal; failover-report: every reroute with cause and "
+        "detection-to-recovery latency",
+    )
+    monitor.add_argument("--server-id", type=int, default=3)
+    monitor.add_argument("--user", default="alice")
+    monitor.add_argument("--rounds", type=int, default=8)
+    monitor.add_argument(
+        "--limit", type=int, default=None,
+        help="with 'events': print only the last N journal entries",
+    )
+    monitor.add_argument(
+        "--metrics", action="store_true",
+        help="also print the monitor's counter snapshot",
+    )
+
     whatif = sub.add_parser(
         "whatif",
         help="evaluate an exclusion policy against every destination "
@@ -174,6 +197,29 @@ def _dispatch(args: argparse.Namespace) -> str:
                 + "\nselection memo: "
                 + f"{info['hits']} hits / {info['misses']} misses "
                 + f"({info['size']} cached)"
+            )
+        return text
+
+    if args.command == "monitor":
+        from repro.monitor.scenario import run_outage_scenario
+        from repro.suite.metrics import format_metrics
+
+        scenario = run_outage_scenario(
+            seed=args.seed,
+            server_id=args.server_id,
+            user=args.user,
+            rounds=args.rounds,
+        )
+        if args.action == "status":
+            text = scenario.monitor.format_status()
+            text += "\n" + scenario.format_summary()
+        elif args.action == "events":
+            text = scenario.journal.format_events(limit=args.limit)
+        else:  # failover-report
+            text = scenario.journal.failover_report()
+        if args.metrics:
+            text += "\nmonitor metrics:\n" + format_metrics(
+                scenario.monitor.metrics_snapshot()
             )
         return text
 

@@ -58,6 +58,7 @@ def request_cache_key(request: UserRequest) -> Tuple[Any, ...]:
         tuple(sorted(request.exclude_operators)),
         tuple(sorted(request.exclude_ases)),
         tuple(sorted(request.exclude_isds)),
+        tuple(sorted(request.exclude_paths)),
         request.max_latency_ms,
         request.max_loss_pct,
         request.min_bandwidth_down_mbps,
@@ -66,7 +67,13 @@ def request_cache_key(request: UserRequest) -> Tuple[Any, ...]:
 
 @dataclass(frozen=True)
 class FlowRule:
-    """An installed user flow: who talks to which server over which path."""
+    """An installed user flow: who talks to which server over which path.
+
+    ``request`` is always the *original* user intent — a failover keeps
+    it verbatim while ``selection``/``path`` move to the replacement
+    route, so verification and future reselections still answer to what
+    the user actually asked for.
+    """
 
     user: str
     server_id: int
@@ -74,6 +81,19 @@ class FlowRule:
     path: Path
     request: UserRequest
     selection: SelectionResult
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The controller's flow-table key: ``(user, server_id)``."""
+        return (self.user, self.server_id)
+
+    @property
+    def path_id(self) -> str:
+        """The stored path document this flow is pinned to."""
+        best = self.selection.best
+        if best is None:  # pragma: no cover - rules are built from winners
+            raise NoPathError("flow rule carries an empty selection")
+        return best.aggregate.path_id
 
 
 class PathController:
@@ -186,6 +206,25 @@ class PathController:
     def flows(self) -> List[FlowRule]:
         """Every installed flow rule, ordered by ``(user, server_id)``."""
         return [self._flows[k] for k in sorted(self._flows)]
+
+    def swap_flow(self, new_rule: FlowRule) -> FlowRule:
+        """Atomically replace the installed rule for ``new_rule.key``.
+
+        The failover engine's commit point: the flow table never holds
+        a half-updated entry, and the displaced rule is returned so the
+        caller can journal the old path.  Raises
+        :class:`~repro.errors.NoPathError` when no rule is installed
+        for that key — a swap must replace something.
+        """
+        key = (new_rule.user, new_rule.server_id)
+        old = self._flows.get(key)
+        if old is None:
+            raise NoPathError(
+                f"no installed flow for {new_rule.user!r} -> "
+                f"server {new_rule.server_id} to swap"
+            )
+        self._flows[key] = new_rule
+        return old
 
     def withdraw(self, user: str, server_id: int) -> bool:
         """Remove a flow rule; True if one was installed."""

@@ -23,7 +23,15 @@ TRACES_COLLECTION = "path_traces"
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One stored trace of one flow."""
+    """One stored trace of one flow.
+
+    ``path_fingerprint`` pins the trace to the concrete path the flow
+    was on *when the trace ran*.  After a failover the flow's rule
+    carries a different path, and the verifier uses the fingerprint to
+    tell "the network disobeyed the intent" (same path, different
+    hops — a real violation) from "this trace predates the failover"
+    (different path — stale evidence, not a violation).
+    """
 
     flow_user: str
     server_id: int
@@ -31,6 +39,9 @@ class TraceRecord:
     observed_hops: Tuple[str, ...]
     observed_interfaces: Tuple[int, ...]
     rtts_ms: Tuple[Optional[float], ...]
+    #: Fingerprint of the path the rule was pinned to at trace time
+    #: ("" on documents that predate fingerprinting).
+    path_fingerprint: str = ""
 
     def to_document(self) -> Dict[str, Any]:
         return {
@@ -41,6 +52,7 @@ class TraceRecord:
             "observed_hops": list(self.observed_hops),
             "observed_interfaces": list(self.observed_interfaces),
             "rtts_ms": list(self.rtts_ms),
+            "path_fingerprint": self.path_fingerprint,
         }
 
 
@@ -65,6 +77,7 @@ class PathTracer:
                 (sorted(r for r in h.rtts_ms if r is not None) or [None])[0]
                 for h in hops
             ),
+            path_fingerprint=rule.path.fingerprint(),
         )
         self.db[TRACES_COLLECTION].insert_one(record.to_document())
         return record

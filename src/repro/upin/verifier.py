@@ -25,6 +25,9 @@ class Verdict(enum.Enum):
     SATISFIED = "satisfied"
     VIOLATED = "violated"
     UNVERIFIABLE = "unverifiable"
+    #: The trace was taken on a path the flow is no longer pinned to
+    #: (a failover happened since) — stale evidence, not a violation.
+    STALE = "stale"
 
 
 @dataclass(frozen=True)
@@ -65,8 +68,30 @@ class PathVerifier:
         self.upin_isds: FrozenSet[int] = frozenset(upin_isds)
 
     def verify(self, rule: FlowRule, trace: TraceRecord) -> VerificationReport:
-        """Compare a trace with the installed flow rule."""
+        """Compare a trace with the installed flow rule.
+
+        A trace fingerprinted for a *different* path than the rule's
+        current one is judged STALE instead of VIOLATED: after a
+        failover the old-path evidence says nothing about the new flow
+        (the failover/verifier interplay regression test pins this).
+        Traces without a fingerprint (legacy documents) are compared
+        the old way.
+        """
         intended = tuple(str(ia) for ia in rule.path.ases()[1:])  # tracer sees hops after src
+        current_fp = rule.path.fingerprint()
+        if trace.path_fingerprint and trace.path_fingerprint != current_fp:
+            return VerificationReport(
+                verdict=Verdict.STALE,
+                intended_hops=intended,
+                observed_hops=trace.observed_hops,
+                mismatches=(),
+                unverified_hops=(),
+                notes=(
+                    "trace was taken on path "
+                    f"{trace.path_fingerprint}, flow is now pinned to "
+                    f"{current_fp} (failed over since); re-trace the flow",
+                ),
+            )
         observed = trace.observed_hops
         mismatches: List[str] = []
         notes: List[str] = []

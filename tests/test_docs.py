@@ -58,3 +58,41 @@ def test_link_checker_detects_breakage(tmp_path):
         "no such heading anchor",
         "missing file",
     }
+
+
+def test_monitor_md_event_table_matches_event_types():
+    """docs/MONITOR.md's journal reference must cover EVENT_TYPES exactly.
+
+    A diff test, not a subset test: documenting a type that no longer
+    exists is as wrong as shipping an undocumented one.
+    """
+    import re
+
+    from repro.monitor.journal import EVENT_TYPES
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "MONITOR.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    section = text.split("## Journal event reference", 1)[1]
+    section = section.split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\| `([a-z_]+)` \|", section, re.M))
+    assert documented == set(EVENT_TYPES), (
+        f"docs/MONITOR.md event table out of sync: "
+        f"undocumented={sorted(set(EVENT_TYPES) - documented)} "
+        f"stale={sorted(documented - set(EVENT_TYPES))}"
+    )
+
+
+def test_monitor_md_slo_table_matches_defaults():
+    """The SLO schema table's defaults must match FlowSLO's real ones."""
+    from dataclasses import fields
+
+    from repro.monitor.slo import FlowSLO
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "MONITOR.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    for f in fields(FlowSLO):
+        assert f"`{f.name}`" in text, f"FlowSLO.{f.name} missing from docs"

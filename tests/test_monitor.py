@@ -1,0 +1,493 @@
+"""Unit and integration tests for the flow-health monitor subsystem."""
+
+import json
+
+import pytest
+
+from repro.docdb.client import DocDBClient
+from repro.errors import TopologyError, ValidationError
+from repro.experiments.world import run_campaign
+from repro.monitor.failover import FailoverEngine
+from repro.monitor.health import (
+    FlowHealth,
+    FlowHealthTracker,
+    HealthSample,
+    replay_events,
+)
+from repro.monitor.journal import (
+    EVENT_FAILOVER,
+    EVENT_FAILOVER_FAILED,
+    EVENT_FAILOVER_SUPPRESSED,
+    EVENT_TYPES,
+    FlowEventJournal,
+)
+from repro.monitor.loop import FlowMonitor
+from repro.monitor.revocation import (
+    Revocation,
+    RevocationStore,
+    sequence_interfaces,
+)
+from repro.monitor.scenario import run_outage_scenario
+from repro.monitor.slo import FlowSLO
+from repro.selection.engine import PathSelector
+from repro.selection.request import UserRequest
+from repro.suite import metrics as m
+from repro.topology.isd_as import ISDAS
+from repro.upin.controller import PathController
+
+
+@pytest.fixture(scope="module")
+def monitor_world():
+    """A small campaign world this module may mutate freely."""
+    return run_campaign([3], iterations=1, seed=77001)
+
+
+def fresh_journal():
+    return FlowEventJournal(DocDBClient()["j"]["flow_events"])
+
+
+# -- SLO ----------------------------------------------------------------------
+
+
+class TestFlowSLO:
+    def test_defaults(self):
+        slo = FlowSLO()
+        assert slo.max_loss_pct == 50.0
+        assert (slo.breach_k, slo.window_n) == (2, 3)
+        assert slo.cooldown_s == 120.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FlowSLO(max_loss_pct=0.0)
+        with pytest.raises(ValidationError):
+            FlowSLO(breach_k=4, window_n=3)
+        with pytest.raises(ValidationError):
+            FlowSLO(max_latency_ms=-1.0)
+        with pytest.raises(ValidationError):
+            FlowSLO(cooldown_s=-1.0)
+
+    def test_from_request_adopts_hard_limits_with_headroom(self):
+        request = UserRequest.make(
+            3, max_latency_ms=100.0, max_loss_pct=5.0,
+            min_bandwidth_down_mbps=8.0,
+        )
+        slo = FlowSLO.from_request(request)
+        assert slo.max_latency_ms == pytest.approx(150.0)  # 1.5x headroom
+        assert slo.max_loss_pct == 5.0
+        assert slo.min_bandwidth_down_mbps == 8.0
+
+    def test_from_request_falls_back_to_domain_defaults(self):
+        slo = FlowSLO.from_request(UserRequest.make(3))
+        assert slo.max_latency_ms is None
+        assert slo.max_loss_pct == 50.0
+
+    def test_document_roundtrip(self):
+        slo = FlowSLO(max_latency_ms=80.0, breach_k=3, window_n=5)
+        assert FlowSLO.from_document(slo.to_document()) == slo
+
+    def test_describe(self):
+        text = FlowSLO(max_latency_ms=80.0).describe()
+        assert "latency<=80ms" in text and "2-of-3" in text
+
+
+# -- tracker ------------------------------------------------------------------
+
+
+class TestFlowHealthTracker:
+    KEY = ("alice", 3)
+
+    def make(self, **slo_kwargs):
+        tracker = FlowHealthTracker()
+        tracker.register(self.KEY, FlowSLO(**slo_kwargs), "p1", 0.0)
+        return tracker
+
+    def test_ewma_fold_values(self):
+        tracker = self.make()
+        tracker.observe(self.KEY, HealthSample(1.0, 0.0, latency_ms=100.0))
+        tracker.observe(self.KEY, HealthSample(2.0, 0.0, latency_ms=50.0))
+        snap = tracker.snapshot()["alice/3"]
+        assert snap["ewma_latency_ms"] == pytest.approx(0.4 * 50 + 0.6 * 100)
+
+    def test_none_latency_keeps_previous_ewma(self):
+        tracker = self.make()
+        tracker.observe(self.KEY, HealthSample(1.0, 0.0, latency_ms=40.0))
+        tracker.observe(self.KEY, HealthSample(2.0, 100.0, latency_ms=None))
+        snap = tracker.snapshot()["alice/3"]
+        assert snap["ewma_latency_ms"] == pytest.approx(40.0)
+
+    def test_ok_degraded_violated_and_recovery(self):
+        tracker = self.make(max_loss_pct=50.0, breach_k=2, window_n=3)
+        bad = lambda t: HealthSample(t, 100.0)
+        good = lambda t: HealthSample(t, 0.0)
+        assert tracker.observe(self.KEY, bad(1.0)).transition.to_state \
+            is FlowHealth.DEGRADED
+        assert tracker.observe(self.KEY, bad(2.0)).transition.to_state \
+            is FlowHealth.VIOLATED
+        # One good sample is not a recovery (hysteresis)...
+        # EWMA after two 100s then one 0: 0.4*0+0.6*100 = 60 > 50 - still
+        # a breach; feed enough clean samples to drain the window.
+        t, state = 3.0, tracker.state_of(self.KEY)
+        while tracker.state_of(self.KEY) is not FlowHealth.OK:
+            obs = tracker.observe(self.KEY, good(t))
+            t += 1.0
+            assert t < 20.0, "never recovered"
+        assert tracker.state_of(self.KEY) is FlowHealth.OK
+        assert tracker.first_breach_of(self.KEY) is None
+
+    def test_first_breach_time_survives_the_streak(self):
+        tracker = self.make()
+        tracker.observe(self.KEY, HealthSample(5.0, 100.0))
+        tracker.observe(self.KEY, HealthSample(6.0, 100.0))
+        assert tracker.first_breach_of(self.KEY) == 5.0
+
+    def test_register_resets_state_after_failover(self):
+        tracker = self.make()
+        tracker.observe(self.KEY, HealthSample(1.0, 100.0))
+        tracker.observe(self.KEY, HealthSample(2.0, 100.0))
+        assert tracker.state_of(self.KEY) is FlowHealth.VIOLATED
+        tracker.register(self.KEY, FlowSLO(), "p2", 3.0)
+        assert tracker.state_of(self.KEY) is FlowHealth.OK
+        assert tracker.path_of(self.KEY) == "p2"
+        assert tracker.snapshot()["alice/3"]["samples"] == 0
+
+    def test_staleness_breach(self):
+        tracker = self.make(max_staleness_s=60.0, breach_k=1, window_n=1)
+        tracker.observe(self.KEY, HealthSample(0.0, 0.0))
+        assert tracker.observe_staleness(self.KEY, 30.0) is None
+        transition = tracker.observe_staleness(self.KEY, 120.0)
+        assert transition is not None
+        assert transition.to_state is FlowHealth.VIOLATED
+        assert transition.cause == "staleness"
+
+    def test_breach_reasons_text(self):
+        tracker = self.make(max_loss_pct=10.0)
+        tracker.observe(self.KEY, HealthSample(1.0, 90.0))
+        reasons = tracker.breach_reasons(self.KEY)
+        assert reasons and "loss" in reasons[0]
+
+    def test_untracked_flow_raises(self):
+        tracker = FlowHealthTracker()
+        with pytest.raises(ValidationError):
+            tracker.state_of(("nobody", 1))
+        assert not tracker.unregister(("nobody", 1))
+
+    def test_counts_by_state(self):
+        tracker = self.make()
+        tracker.register(("bob", 1), FlowSLO(), "p", 0.0)
+        tracker.mark_dead(("bob", 1), "revoked", 1.0)
+        counts = tracker.counts_by_state()
+        assert counts["ok"] == 1 and counts["dead"] == 1
+
+
+# -- revocations --------------------------------------------------------------
+
+
+class TestRevocation:
+    def test_sequence_interfaces_parses_and_skips_zero(self):
+        seq = "17-ffaa:1:1#0,2 17-ffaa:0:1107#1,3 19-ffaa:0:1301#4,0"
+        assert sequence_interfaces(seq) == {
+            ("17-ffaa:1:1", 2),
+            ("17-ffaa:0:1107", 1),
+            ("17-ffaa:0:1107", 3),
+            ("19-ffaa:0:1301", 4),
+        }
+
+    def test_malformed_predicate_raises(self):
+        with pytest.raises(ValidationError):
+            sequence_interfaces("17-ffaa:1:1")
+
+    def test_revocation_validation(self):
+        ia = ISDAS.parse("17-ffaa:0:1107")
+        with pytest.raises(ValidationError):
+            Revocation(ia, 0, 0.0, 10.0)
+        with pytest.raises(ValidationError):
+            Revocation(ia, 1, 10.0, 10.0)
+
+    def test_inject_validates_interface_exists(self, world_host):
+        store = RevocationStore(world_host.topology)
+        with pytest.raises(TopologyError):
+            store.inject(
+                Revocation(ISDAS.parse("17-ffaa:0:1107"), 999, 0.0, 10.0)
+            )
+
+    def test_affecting_path_matches_pinned_interface(self, world_host):
+        path = world_host.paths("19-ffaa:0:1303", max_paths=1)[0]
+        hop = path.hops[1]
+        store = RevocationStore(world_host.topology)
+        revocation = Revocation(hop.isd_as, hop.ingress, 0.0, 100.0)
+        store.inject(revocation)
+        assert store.affecting_path(path, 50.0) is revocation
+        assert store.affecting_path(path, 150.0) is None  # expired
+
+    def test_affected_path_ids_and_expiry(self, world_host):
+        path = world_host.paths("19-ffaa:0:1303", max_paths=1)[0]
+        hop = path.hops[1]
+        store = RevocationStore(world_host.topology)
+        store.inject(Revocation(hop.isd_as, hop.ingress, 0.0, 100.0))
+        docs = [
+            {"_id": "a", "sequence": path.sequence()},
+            {"_id": "b", "sequence": f"{path.src}#0,0"},
+        ]
+        assert store.affected_path_ids(docs, 10.0) == {"a"}
+        assert store.affected_path_ids(docs, 200.0) == set()
+        assert store.expire(200.0) == 1
+        assert len(store) == 0
+
+    def test_blackhole_adds_netsim_episode(self, fresh_world_host):
+        host = fresh_world_host
+        path = host.paths("19-ffaa:0:1303", max_paths=1)[0]
+        hop = path.hops[1]
+        store = RevocationStore(host.topology)
+        before = len(host.network.episodes)
+        store.inject(
+            Revocation(hop.isd_as, hop.ingress, 0.0, 100.0),
+            network=host.network,
+        )
+        assert len(host.network.episodes) == before + 1
+
+
+# -- journal ------------------------------------------------------------------
+
+
+class TestJournal:
+    def test_append_assigns_monotonic_seq(self):
+        journal = fresh_journal()
+        a = journal.append("revocation", 1.0, isd_as="x", interface=1)
+        b = journal.append("flow_withdrawn", 2.0, user="u", server_id=1)
+        assert (a["seq"], b["seq"]) == (0, 1)
+        assert a["_id"] == "flowevt_00000000"
+        assert len(journal) == 2
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_journal().append("nonsense", 0.0)
+
+    def test_seq_resumes_on_existing_collection(self):
+        coll = DocDBClient()["j"]["flow_events"]
+        FlowEventJournal(coll).append("revocation", 1.0, isd_as="x", interface=1)
+        resumed = FlowEventJournal(coll)
+        doc = resumed.append("revocation", 2.0, isd_as="y", interface=2)
+        assert doc["seq"] == 1
+
+    def test_filtered_events(self):
+        journal = fresh_journal()
+        journal.append("flow_registered", 0.0, user="a", server_id=1, path_id="p")
+        journal.append("flow_registered", 0.0, user="b", server_id=2, path_id="q")
+        assert [d["user"] for d in journal.events(user="a")] == ["a"]
+        assert len(journal.events(event_type="flow_registered")) == 2
+
+    def test_failover_report_empty(self):
+        assert "(no failovers recorded)" in fresh_journal().failover_report()
+
+    def test_format_events_empty_and_nonempty(self):
+        journal = fresh_journal()
+        assert "journal empty" in journal.format_events()
+        journal.append(
+            "failover", 5.0, user="a", server_id=1,
+            old_path_id="p", new_path_id="q", cause="test",
+        )
+        text = journal.format_events()
+        assert "p -> q" in text and "failover" in text
+
+
+# -- failover engine ----------------------------------------------------------
+
+
+class TestFailoverEngine:
+    def _engine(self, world, user, *, exclude_others=False):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        if exclude_others:
+            # Leave exactly one admissible path so reselection starves.
+            path_ids = {
+                str(d["_id"])
+                for d in world.db["paths"].find({"server_id": 3})
+            }
+            keep = sorted(path_ids)[0]
+            request = UserRequest.make(
+                3, exclude_paths=path_ids - {keep}
+            )
+        else:
+            request = UserRequest.make(3)
+        rule = controller.apply_intent(user, request)
+        journal = fresh_journal()
+        engine = FailoverEngine(
+            controller, RevocationStore(world.host.topology), journal
+        )
+        return engine, controller, rule, journal
+
+    def test_swap_keeps_original_request(self, monitor_world):
+        engine, controller, rule, journal = self._engine(
+            monitor_world, "swapper"
+        )
+        outcome = engine.try_failover(rule, FlowSLO(), "test", 100.0)
+        assert outcome.swapped
+        new_rule = controller.active_flow("swapper", 3)
+        assert new_rule.request == rule.request  # intent verbatim
+        assert new_rule.path_id != rule.path_id
+        assert journal.events(event_type=EVENT_FAILOVER)
+
+    def test_cooldown_suppression_is_journaled(self, monitor_world):
+        engine, controller, rule, journal = self._engine(
+            monitor_world, "flapper"
+        )
+        slo = FlowSLO(cooldown_s=300.0)
+        first = engine.try_failover(rule, slo, "breach", 100.0)
+        assert first.swapped
+        second = engine.try_failover(
+            controller.active_flow("flapper", 3), slo, "breach", 150.0
+        )
+        assert second.suppressed and not second.swapped
+        docs = journal.events(event_type=EVENT_FAILOVER_SUPPRESSED)
+        assert docs and docs[0]["cooldown_remaining_s"] == pytest.approx(250.0)
+
+    def test_force_bypasses_cooldown(self, monitor_world):
+        engine, controller, rule, journal = self._engine(
+            monitor_world, "forced"
+        )
+        slo = FlowSLO(cooldown_s=300.0)
+        assert engine.try_failover(rule, slo, "breach", 100.0).swapped
+        outcome = engine.try_failover(
+            controller.active_flow("forced", 3), slo, "revoked", 150.0,
+            force=True,
+        )
+        assert outcome.swapped and not outcome.suppressed
+
+    def test_no_replacement_is_journaled_as_failed(self, monitor_world):
+        engine, controller, rule, journal = self._engine(
+            monitor_world, "stuck", exclude_others=True
+        )
+        outcome = engine.try_failover(rule, FlowSLO(), "breach", 100.0)
+        assert not outcome.swapped and outcome.error is not None
+        docs = journal.events(event_type=EVENT_FAILOVER_FAILED)
+        assert docs and "breach" in docs[0]["cause"]
+        # The flow rule is untouched.
+        assert controller.active_flow("stuck", 3).path_id == rule.path_id
+
+    def test_detection_to_recovery_latency(self, monitor_world):
+        engine, controller, rule, journal = self._engine(
+            monitor_world, "latency"
+        )
+        outcome = engine.try_failover(
+            rule, FlowSLO(), "breach", 130.0, detected_at_s=100.0
+        )
+        assert outcome.detection_to_recovery_s == pytest.approx(30.0)
+        doc = journal.failovers()[0]
+        assert doc["detection_to_recovery_s"] == pytest.approx(30.0)
+
+
+# -- monitor loop -------------------------------------------------------------
+
+
+class TestFlowMonitorUnit:
+    def test_watch_and_unwatch_journal_events(self, monitor_world):
+        world = monitor_world
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        monitor = FlowMonitor(world.host, DocDBClient()["m"], controller)
+        rule = controller.apply_intent("watcher", UserRequest.make(3))
+        slo = monitor.watch(rule)
+        assert slo.max_loss_pct == 50.0
+        assert monitor.tracker.is_tracked(rule.key)
+        assert monitor.unwatch("watcher", 3)
+        assert not monitor.tracker.is_tracked(rule.key)
+        assert not monitor.unwatch("watcher", 3)
+        types = [d["type"] for d in monitor.journal.events()]
+        assert types == ["flow_registered", "flow_withdrawn"]
+
+    def test_probe_feeds_tracker(self, monitor_world):
+        world = monitor_world
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        monitor = FlowMonitor(world.host, DocDBClient()["m"], controller)
+        rule = controller.apply_intent("prober", UserRequest.make(3))
+        monitor.watch(rule)
+        monitor.after_round()
+        snap = monitor.tracker.snapshot()["prober/3"]
+        assert snap["samples"] >= 1
+        assert monitor.metrics.counter(m.MON_PROBES) == 3
+        controller.withdraw("prober", 3)
+
+
+# -- the scripted outage scenario (end-to-end) --------------------------------
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return run_outage_scenario(rounds=8)
+
+
+class TestOutageScenario:
+    def test_flow_goes_violated_then_recovers(self, scenario):
+        transitions = [
+            (d["from"], d["to"])
+            for d in scenario.journal.transitions(user="alice")
+        ]
+        assert ("ok", "violated") in transitions or \
+            ("degraded", "violated") in transitions
+        assert scenario.monitor.tracker.state_of(("alice", 3)) \
+            is FlowHealth.OK
+
+    def test_both_failure_modes_fire(self, scenario):
+        causes = [d["cause"] for d in scenario.journal.failovers()]
+        assert len(causes) == 2
+        assert any("loss" in c for c in causes)
+        assert any("revocation" in c for c in causes)
+
+    def test_detection_to_recovery_recorded(self, scenario):
+        for doc in scenario.journal.failovers():
+            assert doc["detection_to_recovery_s"] >= 0.0
+            assert doc["recovered_at_s"] >= doc["detected_at_s"]
+
+    def test_path_journey_recorded(self, scenario):
+        assert len(scenario.path_history) >= 3  # out and back counts
+
+    def test_metrics_match_journal(self, scenario):
+        snap = scenario.monitor.metrics_snapshot()
+        assert snap["counters"][m.MON_FAILOVERS] == \
+            len(scenario.journal.failovers())
+        assert snap["counters"][m.MON_REVOCATIONS] == 1
+
+    def test_failover_report_text(self, scenario):
+        text = scenario.journal.failover_report()
+        assert "2 failover(s)" in text
+        assert "mean time-to-repair" in text
+
+    def test_journal_replay_matches_live_tracker(self, scenario):
+        replayed = replay_events(scenario.journal.events())
+        assert replayed.snapshot() == scenario.monitor.tracker.snapshot()
+
+    def test_byte_identical_across_repeated_runs(self, scenario):
+        again = run_outage_scenario(rounds=8)
+        a = json.dumps(scenario.journal.events(), sort_keys=True, default=str)
+        b = json.dumps(again.journal.events(), sort_keys=True, default=str)
+        assert a == b
+
+    def test_event_types_all_known(self, scenario):
+        assert {d["type"] for d in scenario.journal.events()} <= EVENT_TYPES
+
+
+class TestMonitorCLI:
+    def test_failover_report_action(self, capsys):
+        from repro.upin.cli import main
+
+        assert main(["monitor", "failover-report"]) == 0
+        out = capsys.readouterr().out
+        assert "failover report:" in out
+        assert "->" in out
+
+    def test_status_action_with_metrics(self, capsys):
+        from repro.upin.cli import main
+
+        assert main(["monitor", "status", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "monitored flows:" in out
+        assert "path journey:" in out
+        assert "monitor:" in out  # the metrics block
+
+    def test_events_action_with_limit(self, capsys):
+        from repro.upin.cli import main
+
+        assert main(["monitor", "events", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#0") == 5

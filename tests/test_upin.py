@@ -159,6 +159,100 @@ class TestTracerAndVerifier:
         assert any("excluded country" in m for m in report.mismatches)
 
 
+class TestVerifierAfterFailover:
+    """Old-path traces must not fail verification of the new flow."""
+
+    def _failed_over(self, world, user="iris", server_id=3):
+        """Install a flow, then swap it to its best alternative path."""
+        from dataclasses import replace as dc_replace
+
+        from repro.upin.controller import FlowRule
+
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        rule = controller.apply_intent(user, UserRequest.make(server_id))
+        reroute = dc_replace(
+            rule.request, exclude_paths=frozenset({rule.path_id})
+        )
+        selection = controller.cached_select(reroute)
+        assert selection.best is not None
+        new_path = world.host.daemon.path_by_sequence(
+            rule.path.dst, selection.best.sequence
+        )
+        assert new_path is not None
+        new_rule = FlowRule(
+            user=user,
+            server_id=server_id,
+            server_address=rule.server_address,
+            path=new_path,
+            request=rule.request,
+            selection=selection,
+        )
+        controller.swap_flow(new_rule)
+        return controller, rule, new_rule
+
+    def test_trace_records_path_fingerprint(self, world):
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        tracer = PathTracer(world.host, world.db)
+        rule = controller.apply_intent("judy", UserRequest.make(3))
+        record = tracer.trace_flow(rule)
+        assert record.path_fingerprint == rule.path.fingerprint()
+        stored = tracer.traces_for("judy", 3)[-1]
+        assert stored["path_fingerprint"] == rule.path.fingerprint()
+
+    def test_old_trace_is_stale_not_violated_after_failover(self, world):
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        controller, old_rule, new_rule = self._failed_over(world)
+        old_trace = tracer.trace_flow(old_rule)  # taken pre-swap
+        assert new_rule.path.fingerprint() != old_rule.path.fingerprint()
+        report = verifier.verify(new_rule, old_trace)
+        assert report.verdict is Verdict.STALE
+        assert not report.mismatches
+        assert any("failed over" in note for note in report.notes)
+
+    def test_fresh_trace_of_new_path_verifies_clean(self, world):
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        controller, _old_rule, new_rule = self._failed_over(world, user="kate")
+        report = verifier.verify(new_rule, tracer.trace_flow(new_rule))
+        assert report.verdict is Verdict.SATISFIED
+
+    def test_legacy_trace_without_fingerprint_still_compares_hops(self, world):
+        from dataclasses import replace as dc_replace
+
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        controller, old_rule, new_rule = self._failed_over(world, user="liam")
+        legacy = dc_replace(
+            tracer.trace_flow(old_rule), path_fingerprint=""
+        )
+        report = verifier.verify(new_rule, legacy)
+        # Without a fingerprint the verifier cannot tell stale from
+        # deviating — the legacy behaviour (VIOLATED) is preserved.
+        assert report.verdict is Verdict.VIOLATED
+
+    def test_forged_trace_with_current_fingerprint_still_violates(self, world):
+        from dataclasses import replace as dc_replace
+
+        tracer = PathTracer(world.host, world.db)
+        verifier = PathVerifier(world.host.topology, upin_isds=[17, 19])
+        selector = PathSelector(world.db, world.host.topology)
+        controller = PathController(world.host, selector)
+        rule = controller.apply_intent("mona", UserRequest.make(3))
+        trace = tracer.trace_flow(rule)
+        forged = dc_replace(
+            trace,
+            observed_hops=tuple(
+                "19-ffaa:0:1302" if h == "19-ffaa:0:1301" else h
+                for h in trace.observed_hops
+            ),
+        )
+        report = verifier.verify(rule, forged)
+        assert report.verdict is Verdict.VIOLATED
+
+
 class TestFrontend:
     def test_submit_intent_end_to_end(self, frontend):
         outcome = frontend.submit_intent("henry", UserRequest.make(3))

@@ -33,6 +33,14 @@ from repro.docdb.cache import QueryCache, freeze
 from repro.docdb.database import Database
 from repro.docdb.client import DocDBClient
 from repro.docdb.storage import JsonlStore, OperationJournal
+from repro.docdb.wal import WAL_OPS, WalRecord, WalWriter
+from repro.docdb.recovery import (
+    Checkpoint,
+    CheckpointResult,
+    RecoveryManager,
+    RecoveryReport,
+    run_checkpoint,
+)
 from repro.docdb.auth import AccessController, Role, SignedDocumentVerifier
 
 __all__ = [
@@ -55,6 +63,14 @@ __all__ = [
     "DocDBClient",
     "JsonlStore",
     "OperationJournal",
+    "WalWriter",
+    "WalRecord",
+    "WAL_OPS",
+    "RecoveryManager",
+    "RecoveryReport",
+    "Checkpoint",
+    "CheckpointResult",
+    "run_checkpoint",
     "AccessController",
     "Role",
     "SignedDocumentVerifier",

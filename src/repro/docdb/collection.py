@@ -49,7 +49,15 @@ from repro.docdb.planner import (
 )
 from repro.docdb.query import matches
 from repro.docdb.update import apply_update, is_update_document
-from repro.errors import DuplicateKeyError, QueryError
+from repro.docdb.wal import (
+    OP_CREATE_INDEX,
+    OP_DELETE,
+    OP_DROP_INDEX,
+    OP_INSERT,
+    OP_INSERT_MANY,
+    OP_UPDATE,
+)
+from repro.errors import DuplicateKeyError, QueryError, StorageError
 
 SortSpec = Sequence[Tuple[str, int]]
 
@@ -135,6 +143,12 @@ class Collection:
         self._planner = QueryPlanner(self)
         self.cache = QueryCache(capacity=cache_capacity, ttl_s=cache_ttl_s)
         self._epoch = 0
+        #: Write-ahead-log sink, wired by :meth:`Database.attach_wal`
+        #: when the owning client is opened durable.  Called as
+        #: ``sink(op, payload)`` after every successful in-memory
+        #: mutation (still under the collection lock) — the WAL append
+        #: is the operation's commit point.  ``None`` = volatile mode.
+        self._wal_sink: Optional[Callable[[str, Dict[str, Any]], None]] = None
 
     # -- epoch / cache invalidation ---------------------------------------------
 
@@ -146,6 +160,11 @@ class Collection:
     def _bump_epoch(self) -> None:
         """Invalidate cached query results (one bump = one write op)."""
         self._epoch += 1
+
+    def _emit_wal(self, op: str, payload: Dict[str, Any]) -> None:
+        """Append the committed operation to the WAL (durable mode only)."""
+        if self._wal_sink is not None:
+            self._wal_sink(op, payload)
 
     # -- inserts ----------------------------------------------------------------
 
@@ -178,7 +197,37 @@ class Collection:
                 self._commit_insert(d)
             if prepared:
                 self._bump_epoch()
+                # One batch = one WAL record = one atomic unit: recovery
+                # either replays the whole flush or rolls it back
+                # (§4.2.2's all-or-nothing destination batch).
+                self._emit_wal(OP_INSERT_MANY, {"documents": prepared})
             return InsertManyResult(inserted_ids=tuple(ids))
+
+    def load_documents(self, docs: Iterable[Dict[str, Any]]) -> int:
+        """Bulk-load freshly-parsed documents (snapshot load, WAL replay).
+
+        :meth:`insert_many` semantics — same validation, duplicate
+        checks, validator hook, single epoch bump — minus two things:
+        the defensive deep-copy (the loader owns the dicts; they come
+        straight out of ``json.loads``) and the WAL emission (loads
+        reconstruct state that is already durable; re-journalling it
+        would double the log).  Returns the number of documents loaded.
+        """
+        with self._lock:
+            prepared = [normalize_document(d, deep_copy=False) for d in docs]
+            ids = [d["_id"] for d in prepared]
+            if len(set(ids)) != len(ids):
+                raise DuplicateKeyError(f"duplicate _id inside batch for {self.name}")
+            for d in prepared:
+                if d["_id"] in self._docs:
+                    raise DuplicateKeyError(f"duplicate _id: {d['_id']!r}")
+                if self.validator is not None:
+                    self.validator(d)
+            for d in prepared:
+                self._commit_insert(d)
+            if prepared:
+                self._bump_epoch()
+            return len(prepared)
 
     def _insert(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         stored = normalize_document(doc)
@@ -187,6 +236,7 @@ class Collection:
         if self.validator is not None:
             self.validator(stored)
         self._commit_insert(stored)
+        self._emit_wal(OP_INSERT, {"document": stored})
         return stored
 
     def _commit_insert(self, stored: Dict[str, Any]) -> None:
@@ -379,6 +429,7 @@ class Collection:
         with self._lock:
             matched = 0
             modified = 0
+            changed: List[Dict[str, Any]] = []
             for doc in self._execute_filter(flt):
                 matched += 1
                 new_doc = apply_update(doc, update)
@@ -386,6 +437,7 @@ class Collection:
                     if self.validator is not None:
                         self.validator(new_doc)
                     self._replace_committed(doc, new_doc)
+                    changed.append(new_doc)
                     modified += 1
                 if not multi:
                     break
@@ -404,6 +456,10 @@ class Collection:
                 return UpdateResult(0, 0, upserted_id=stored["_id"])
             if modified:
                 self._bump_epoch()
+                # Physiological logging: the WAL stores the *resulting*
+                # documents, so replay is exact regardless of planner
+                # candidate order or update-operator re-evaluation.
+                self._emit_wal(OP_UPDATE, {"docs": changed})
             return UpdateResult(matched, modified)
 
     def _replace_committed(self, old: Dict[str, Any], new: Dict[str, Any]) -> None:
@@ -432,6 +488,7 @@ class Collection:
                     index.remove(doc)
             if victims:
                 self._bump_epoch()
+                self._emit_wal(OP_DELETE, {"ids": [d["_id"] for d in victims]})
             return DeleteResult(deleted_count=len(victims))
 
     # -- indexes --------------------------------------------------------------------------------
@@ -459,6 +516,10 @@ class Collection:
                     index.add(doc)
                 self._indexes[name] = index
                 self._bump_epoch()  # plans change; drop cached decisions
+                self._emit_wal(
+                    OP_CREATE_INDEX,
+                    {"fields": [[f, d] for f, d in fields], "unique": unique},
+                )
             return name
 
     def drop_index(self, spec: IndexSpec) -> None:
@@ -470,6 +531,7 @@ class Collection:
         with self._lock:
             if self._indexes.pop(name, None) is not None:
                 self._bump_epoch()
+                self._emit_wal(OP_DROP_INDEX, {"name": name})
 
     def list_indexes(self) -> List[str]:
         return sorted(self._indexes)
@@ -484,6 +546,47 @@ class Collection:
                 }
                 for name, index in sorted(self._indexes.items())
             }
+
+    # -- WAL replay (recovery-only entry points) ----------------------------------------------------
+
+    def replay_update(self, docs: Sequence[Dict[str, Any]]) -> None:
+        """Re-apply a physiologically-logged ``OP_UPDATE`` record.
+
+        Each ``doc`` replaces the stored document with the same ``_id``
+        (indexes maintained).  Only :class:`~repro.docdb.recovery.
+        RecoveryManager` calls this; a missing target means the log
+        diverged from the snapshot and is surfaced as corruption.
+        """
+        with self._lock:
+            for new_doc in docs:
+                old = self._docs.get(new_doc["_id"])
+                if old is None:
+                    raise StorageError(
+                        f"WAL replay: update targets unknown _id "
+                        f"{new_doc['_id']!r} in collection {self.name!r}"
+                    )
+                self._replace_committed(old, copy.deepcopy(new_doc))
+            if docs:
+                self._bump_epoch()
+                self._emit_wal(OP_UPDATE, {"docs": list(docs)})
+
+    def replay_delete(self, ids: Sequence[Any]) -> None:
+        """Re-apply an ``OP_DELETE`` record (delete by logged ids)."""
+        with self._lock:
+            removed = []
+            for _id in ids:
+                doc = self._docs.pop(_id, None)
+                if doc is None:
+                    raise StorageError(
+                        f"WAL replay: delete targets unknown _id {_id!r} "
+                        f"in collection {self.name!r}"
+                    )
+                for index in self._indexes.values():
+                    index.remove(doc)
+                removed.append(_id)
+            if removed:
+                self._bump_epoch()
+                self._emit_wal(OP_DELETE, {"ids": removed})
 
     # -- aggregation --------------------------------------------------------------------------------
 

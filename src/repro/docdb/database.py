@@ -3,19 +3,46 @@
 from __future__ import annotations
 
 import threading
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.docdb.collection import Collection
+from repro.docdb.wal import OP_DROP_COLLECTION, WalWriter
 from repro.errors import DocDBError
 
 
 class Database:
-    """A named set of collections, created lazily on first access."""
+    """A named set of collections, created lazily on first access.
 
-    def __init__(self, name: str) -> None:
+    When the owning :class:`~repro.docdb.client.DocDBClient` is opened
+    durable, :meth:`attach_wal` wires every collection (existing and
+    future) to the shared :class:`~repro.docdb.wal.WalWriter`, so
+    mutating operations journal themselves — no caller-side
+    ``journal.append`` bookkeeping anywhere.
+    """
+
+    def __init__(self, name: str, *, wal: Optional[WalWriter] = None) -> None:
         self.name = name
         self._collections: Dict[str, Collection] = {}
         self._lock = threading.RLock()
+        self._wal: Optional[WalWriter] = wal
+
+    # -- durability ----------------------------------------------------------
+
+    def attach_wal(self, wal: Optional[WalWriter]) -> None:
+        """Route this database's writes through ``wal`` (None detaches)."""
+        with self._lock:
+            self._wal = wal
+            for name, coll in self._collections.items():
+                coll._wal_sink = self._make_sink(name) if wal is not None else None
+
+    def _make_sink(self, coll_name: str):
+        def sink(op: str, payload: Dict) -> None:
+            assert self._wal is not None
+            self._wal.append(op, self.name, coll_name, payload)
+
+        return sink
+
+    # -- collections ---------------------------------------------------------
 
     def collection(self, name: str) -> Collection:
         if not name or name.startswith("$"):
@@ -24,6 +51,8 @@ class Database:
             coll = self._collections.get(name)
             if coll is None:
                 coll = Collection(name)
+                if self._wal is not None:
+                    coll._wal_sink = self._make_sink(name)
                 self._collections[name] = coll
             return coll
 
@@ -35,7 +64,8 @@ class Database:
 
     def drop_collection(self, name: str) -> None:
         with self._lock:
-            self._collections.pop(name, None)
+            if self._collections.pop(name, None) is not None and self._wal is not None:
+                self._wal.append(OP_DROP_COLLECTION, self.name, name, {})
 
     def __contains__(self, name: str) -> bool:
         # Locked like every other accessor: membership must observe a

@@ -23,12 +23,20 @@ def new_object_id() -> str:
     return secrets.token_hex(12)
 
 
-def normalize_document(doc: Dict[str, Any], *, ensure_id: bool = True) -> Dict[str, Any]:
-    """Deep-copy and validate a document; assign an ``_id`` if missing."""
+def normalize_document(
+    doc: Dict[str, Any], *, ensure_id: bool = True, deep_copy: bool = True
+) -> Dict[str, Any]:
+    """Deep-copy and validate a document; assign an ``_id`` if missing.
+
+    ``deep_copy=False`` skips the defensive copy for callers that
+    provably own the dict — the recovery loaders pass documents fresh
+    out of ``json.loads`` (snapshot lines, WAL payloads), where copying
+    them again roughly triples recovery time.  Validation always runs.
+    """
     if not isinstance(doc, dict):
         raise ValidationError(f"document must be a dict, got {type(doc).__name__}")
     _check_value(doc, depth=0)
-    out = copy.deepcopy(doc)
+    out = copy.deepcopy(doc) if deep_copy else doc
     if ensure_id and "_id" not in out:
         out["_id"] = new_object_id()
     return out

@@ -5,10 +5,17 @@ Two durability mechanisms, matching the trade-off the paper discusses in
 a crash):
 
 * :class:`JsonlStore` — full snapshots, one ``<db>.<collection>.jsonl``
-  file per collection.
-* :class:`OperationJournal` — a write-ahead log of individual operations
-  that can be replayed over a snapshot, bounding data loss to the
-  operations after the last ``fsync``-equivalent flush.
+  file per collection.  Database names must not contain ``.`` (the
+  separator between database and collection in the filename); dotted
+  names are rejected with :class:`~repro.errors.StorageError` instead
+  of silently corrupting ``list_databases()``.
+* :class:`OperationJournal` — the seed-era JSONL journal, kept for
+  backwards compatibility only.  **Deprecated**: it has no checksums,
+  no segments, and its replay *skips* (rather than detects) interior
+  corruption.  New code uses the checksummed segmented WAL
+  (:mod:`repro.docdb.wal`) wired automatically by
+  :meth:`repro.docdb.client.DocDBClient.open` and recovered by
+  :mod:`repro.docdb.recovery` — see docs/STORAGE.md.
 """
 
 from __future__ import annotations
@@ -30,10 +37,22 @@ class JsonlStore:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
 
+    @staticmethod
+    def _check_db_name(db_name: str) -> None:
+        """Dotted database names would corrupt the ``<db>.<coll>.jsonl``
+        filename scheme (``list_databases`` splits on the first dot)."""
+        if "." in db_name:
+            raise StorageError(
+                f"database name {db_name!r} must not contain '.' "
+                f"(reserved as the db/collection separator in snapshot "
+                f"filenames)"
+            )
+
     def _path(self, db_name: str, coll_name: str) -> str:
         return os.path.join(self.directory, f"{db_name}.{coll_name}{_SNAPSHOT_SUFFIX}")
 
     def save_database(self, db: Database) -> None:
+        self._check_db_name(db.name)
         for coll_name in db.list_collection_names():
             coll = db.collection(coll_name)
             tmp = self._path(db.name, coll_name) + ".tmp"
@@ -53,6 +72,12 @@ class JsonlStore:
                 for doc in coll.all_documents():
                     fh.write(json.dumps(doc, sort_keys=True) + "\n")
             os.replace(tmp, self._path(db.name, coll_name))
+        # Collections dropped since the last snapshot must not leave
+        # stale ``.jsonl`` files behind — reloading would resurrect them.
+        live = set(db.list_collection_names())
+        for coll_name in self._collections_of(db.name):
+            if coll_name not in live:
+                os.remove(self._path(db.name, coll_name))
 
     def list_databases(self) -> List[str]:
         names = set()
@@ -70,6 +95,7 @@ class JsonlStore:
         return sorted(out)
 
     def load_database(self, db: Database) -> None:
+        self._check_db_name(db.name)
         for coll_name in self._collections_of(db.name):
             coll = db.collection(coll_name)
             path = self._path(db.name, coll_name)
@@ -95,7 +121,9 @@ class JsonlStore:
                         f"corrupt snapshot line {i} in {path}"
                     ) from exc
             if docs:
-                coll.insert_many(docs)
+                # Trusted bulk load: the dicts are fresh json.loads
+                # output, so the defensive deep-copy is skipped.
+                coll.load_documents(docs)
             for spec in header.get("__meta__", {}).get("indexes", []):
                 if isinstance(spec, str):  # legacy snapshot: bare path
                     coll.create_index(spec)
@@ -107,7 +135,14 @@ class JsonlStore:
 
 
 class OperationJournal:
-    """Append-only log of mutating operations with replay support."""
+    """Append-only log of mutating operations with replay support.
+
+    .. deprecated:: kept only for seed compatibility.  No checksums, no
+       segment rotation, and :meth:`iter_records` *silently truncates*
+       at the first undecodable line — it cannot distinguish a torn
+       tail from interior corruption.  Use the automatic WAL attached
+       by :meth:`repro.docdb.client.DocDBClient.open` instead.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path

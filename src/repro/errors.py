@@ -95,6 +95,20 @@ class StorageError(DocDBError):
     """Persistence layer failure (corrupt file, bad checkpoint...)."""
 
 
+class WalCorruptionError(StorageError):
+    """A WAL record failed its checksum or continuity check.
+
+    Raised (never silently skipped) for *interior* corruption — a
+    size-complete record with a bad CRC32, an LSN discontinuity, or an
+    incomplete record that is not the final one of the final segment.
+    ``lsn`` names the log sequence number at which verification failed.
+    """
+
+    def __init__(self, message: str, *, lsn: int) -> None:
+        super().__init__(message)
+        self.lsn = lsn
+
+
 # ---------------------------------------------------------------------------
 # crypto errors
 # ---------------------------------------------------------------------------

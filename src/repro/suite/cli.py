@@ -26,6 +26,8 @@ from repro.suite.metrics import (
     database_stats_snapshot,
     format_database_stats,
     format_metrics,
+    format_wal_stats,
+    wal_stats_snapshot,
 )
 from repro.suite.parallel import ParallelCampaign
 from repro.suite.runner import TestRunner
@@ -70,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--db-dir", default=None, help="persist the database under this directory"
     )
     parser.add_argument(
+        "--durability",
+        choices=["snapshot", "always", "batch", "never"],
+        default="snapshot",
+        help="persistence mode for --db-dir: 'snapshot' saves JSONL files "
+        "once at exit (seed behaviour); 'always'/'batch'/'never' open a "
+        "crash-safe write-ahead log with that fsync policy — every batch "
+        "flush survives kill -9 and the campaign ends with a checkpoint "
+        "(see docs/STORAGE.md)",
+    )
+    parser.add_argument(
         "--sign",
         action="store_true",
         help="sign every statistics document with a coordinator-issued AS "
@@ -91,11 +103,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = SuiteConfig(iterations=args.iterations, some_only=args.some_only,
                          skip_collection=args.skip)
-    client = (
-        DocDBClient.load_from(args.db_dir)
-        if args.db_dir is not None
-        else DocDBClient()
-    )
+    if args.durability != "snapshot" and args.db_dir is None:
+        print("error: --durability requires --db-dir", file=sys.stderr)
+        return 2
+    if args.db_dir is not None and args.durability != "snapshot":
+        # Durable mode: recover (snapshot + WAL replay) and auto-journal.
+        client = DocDBClient.open(args.db_dir, fsync=args.durability)
+        report = client.recovery_report
+        assert report is not None
+        print(
+            f"durable database: wal fsync={args.durability}, "
+            f"recovered to lsn {report.last_lsn} "
+            f"({report.records_replayed} records replayed"
+            + (
+                f", {report.torn_bytes_truncated} torn bytes rolled back)"
+                if report.torn_bytes_truncated
+                else ")"
+            )
+        )
+    elif args.db_dir is not None:
+        client = DocDBClient.load_from(args.db_dir)
+    else:
+        client = DocDBClient()
     db = client[config.database]
     n_servers = seed_servers(db)
     host = ScionHost.scionlab(seed=args.seed)
@@ -164,6 +193,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 db_block = format_database_stats(database_stats_snapshot(db))
                 if db_block:
                     print(db_block)
+                wal_block = format_wal_stats(wal_stats_snapshot(client))
+                if wal_block:
+                    print(wal_block)
         else:
             report = TestRunner(
                 host, db, config, signer=signer, signer_subject=signer_subject
@@ -180,11 +212,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 db_block = format_database_stats(database_stats_snapshot(db))
                 if db_block:
                     print(db_block)
+                wal_block = format_wal_stats(wal_stats_snapshot(client))
+                if wal_block:
+                    print(wal_block)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if client.is_durable:
+            # Every flushed batch is already on the OS side of the WAL;
+            # close without checkpointing so the next open replays it.
+            client.close()
         return 1
 
-    if args.db_dir is not None:
+    if client.is_durable:
+        result = client.checkpoint()
+        client.close()
+        print(
+            f"database checkpointed under {args.db_dir} "
+            f"(lsn {result.checkpoint_lsn}, "
+            f"{result.segments_removed} WAL segment(s) compacted)"
+        )
+    elif args.db_dir is not None:
         client.save_to(args.db_dir)
         print(f"database saved under {args.db_dir}")
     return 0

@@ -54,6 +54,36 @@ MON_REVOCATIONS = "monitor_revocations"
 MON_MTTR_S = "monitor_time_to_repair_s"
 MON_ROUND_WALL_S = "monitor_round_wall_s"
 
+# Durability / write-ahead-log counters (folded from
+# ``DocDBClient.wal_stats()`` by :func:`wal_stats_snapshot`; zero/absent
+# for volatile clients).  See docs/STORAGE.md.
+WAL_APPENDS = "wal_appends"
+WAL_BYTES = "wal_bytes_written"
+WAL_FSYNCS = "wal_fsyncs"
+WAL_ROTATIONS = "wal_segment_rotations"
+WAL_SEGMENTS = "wal_segments"
+WAL_CHECKPOINTS = "wal_checkpoints"
+WAL_SEGMENTS_REMOVED = "wal_segments_removed"
+WAL_LAST_LSN = "wal_last_lsn"
+WAL_CHECKPOINT_LSN = "wal_checkpoint_lsn"
+WAL_RECORDS_REPLAYED = "wal_records_replayed"
+WAL_TORN_BYTES = "wal_torn_bytes_truncated"
+
+#: ``DocDBClient.wal_stats()`` key -> canonical instrument name.
+_WAL_STAT_NAMES = {
+    "appends": WAL_APPENDS,
+    "bytes_written": WAL_BYTES,
+    "fsyncs": WAL_FSYNCS,
+    "rotations": WAL_ROTATIONS,
+    "segments": WAL_SEGMENTS,
+    "checkpoints": WAL_CHECKPOINTS,
+    "segments_removed": WAL_SEGMENTS_REMOVED,
+    "last_lsn": WAL_LAST_LSN,
+    "checkpoint_lsn": WAL_CHECKPOINT_LSN,
+    "records_replayed": WAL_RECORDS_REPLAYED,
+    "torn_bytes_truncated": WAL_TORN_BYTES,
+}
+
 # Database/query-planner counters (folded from ``Collection.stats`` by
 # :func:`database_stats_snapshot` — read-time aggregation, deliberately
 # NOT recorded per-destination so worker scheduling cannot perturb the
@@ -194,6 +224,50 @@ def database_stats_snapshot(db: Any) -> Dict[str, Any]:
         "counters": {k: counters[k] for k in sorted(counters)},
         "histograms": {},
     }
+
+
+def wal_stats_snapshot(client: Any) -> Dict[str, Any]:
+    """Fold a durable client's WAL counters into a metrics snapshot.
+
+    ``client`` is a :class:`~repro.docdb.client.DocDBClient`; volatile
+    clients yield an empty snapshot (nothing to report).
+    """
+    raw = client.wal_stats() if hasattr(client, "wal_stats") else {}
+    counters: Dict[str, float] = {}
+    for stat_key, canonical in _WAL_STAT_NAMES.items():
+        if stat_key in raw:
+            counters[canonical] = float(raw[stat_key])
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {},
+    }
+
+
+def format_wal_stats(
+    snapshot: Optional[Dict[str, Any]], *, indent: str = "  "
+) -> str:
+    """Human-readable durability block (empty when volatile)."""
+    if not snapshot or not snapshot.get("counters"):
+        return ""
+    appends = counter_value(snapshot, WAL_APPENDS)
+    wal_bytes = counter_value(snapshot, WAL_BYTES)
+    fsyncs = counter_value(snapshot, WAL_FSYNCS)
+    rotations = counter_value(snapshot, WAL_ROTATIONS)
+    last_lsn = counter_value(snapshot, WAL_LAST_LSN)
+    ckpt_lsn = counter_value(snapshot, WAL_CHECKPOINT_LSN)
+    checkpoints = counter_value(snapshot, WAL_CHECKPOINTS)
+    replayed = counter_value(snapshot, WAL_RECORDS_REPLAYED)
+    lines = [
+        f"{indent}wal: {appends:g} appends ({wal_bytes:g} bytes), "
+        f"{fsyncs:g} fsyncs, {rotations:g} rotations",
+        f"{indent}wal: lsn {last_lsn:g} (checkpoint {ckpt_lsn:g}, "
+        f"{checkpoints:g} checkpoints, {replayed:g} records replayed at open)",
+    ]
+    torn = counter_value(snapshot, WAL_TORN_BYTES)
+    if torn:
+        lines.append(f"{indent}wal: torn tail rolled back ({torn:g} bytes)")
+    return "\n".join(lines)
 
 
 def format_database_stats(

@@ -52,3 +52,29 @@ class TestSignedCampaignCli:
     def test_unsigned_campaign_has_no_signatures(self, capsys):
         assert suite_main(["1", "--some_only"]) == 0
         # (fresh in-memory db each invocation; nothing to assert beyond rc)
+
+
+class TestDurableCampaignCli:
+    def test_durability_requires_db_dir(self, capsys):
+        assert suite_main(["1", "--some_only", "--durability", "batch"]) == 2
+        assert "--durability requires --db-dir" in capsys.readouterr().err
+
+    def test_durable_campaign_checkpoints_and_recovers(self, capsys, tmp_path):
+        db_dir = str(tmp_path / "db")
+        assert (
+            suite_main(
+                ["1", "--some_only", "--db-dir", db_dir,
+                 "--durability", "batch", "--metrics"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "durable database: wal fsync=batch" in out
+        assert "wal:" in out  # the --metrics WAL block
+        assert "database checkpointed under" in out
+        # The campaign's documents survive a fresh recovery.
+        recovered = DocDBClient.open(db_dir)
+        assert recovered.recovery_report.records_replayed == 0  # checkpointed
+        assert len(recovered["upin"]["paths_stats"]) > 0
+        assert len(recovered["upin"]["paths"]) > 0
+        recovered.close()

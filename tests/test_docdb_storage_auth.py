@@ -57,6 +57,30 @@ class TestJsonlStore:
         client.save_to(str(tmp_path))
         assert JsonlStore(str(tmp_path)).list_databases() == ["a", "b"]
 
+    def test_dotted_database_name_rejected(self, tmp_path):
+        # "up.in" would collide with the "<db>.<collection>.jsonl"
+        # filename scheme and mis-parse on load.
+        client = DocDBClient()
+        client["up.in"]["c"].insert_one({"_id": 1})
+        with pytest.raises(StorageError, match="database name"):
+            client.save_to(str(tmp_path))
+
+    def test_snapshot_removes_files_of_dropped_collections(self, tmp_path):
+        client = DocDBClient()
+        client["db"]["keep"].insert_one({"_id": 1})
+        client["db"]["gone"].insert_one({"_id": 1})
+        client.save_to(str(tmp_path))
+        assert "db.gone.jsonl" in os.listdir(tmp_path)
+
+        client["db"].drop_collection("gone")
+        client.save_to(str(tmp_path))
+        files = os.listdir(tmp_path)
+        assert "db.keep.jsonl" in files
+        assert "db.gone.jsonl" not in files
+        # A reload must not resurrect the dropped collection.
+        restored = DocDBClient.load_from(str(tmp_path))
+        assert restored["db"].list_collection_names() == ["keep"]
+
 
 class TestOperationJournal:
     def test_append_and_replay(self, tmp_path):

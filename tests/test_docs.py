@@ -96,3 +96,60 @@ def test_monitor_md_slo_table_matches_defaults():
         text = fh.read()
     for f in fields(FlowSLO):
         assert f"`{f.name}`" in text, f"FlowSLO.{f.name} missing from docs"
+
+
+def test_storage_md_op_table_matches_wal_ops():
+    """docs/STORAGE.md's op reference must cover WAL_OPS exactly.
+
+    A diff test, not a subset test: documenting an op that no longer
+    exists is as wrong as shipping an undocumented one.
+    """
+    import re
+
+    from repro.docdb.wal import WAL_OPS
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "STORAGE.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    section = text.split("### WAL operation reference", 1)[1]
+    section = section.split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\| `([a-z_]+)` \|", section, re.M))
+    assert documented == set(WAL_OPS), (
+        f"docs/STORAGE.md op table out of sync: "
+        f"undocumented={sorted(set(WAL_OPS) - documented)} "
+        f"stale={sorted(documented - set(WAL_OPS))}"
+    )
+
+
+def test_storage_md_fsync_table_matches_policies():
+    """The fsync trade-off table must cover FSYNC_POLICIES exactly."""
+    import re
+
+    from repro.docdb.wal import FSYNC_POLICIES
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "STORAGE.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    section = text.split("### fsync policy trade-off", 1)[1]
+    section = section.split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\| `([a-z]+)` \|", section, re.M))
+    assert documented == set(FSYNC_POLICIES), (
+        f"docs/STORAGE.md fsync table out of sync: "
+        f"undocumented={sorted(set(FSYNC_POLICIES) - documented)} "
+        f"stale={sorted(documented - set(FSYNC_POLICIES))}"
+    )
+
+
+def test_storage_md_example_is_consistent():
+    """The quickstart snippet must name real API: open/checkpoint/close."""
+    from repro.docdb.client import DocDBClient
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "STORAGE.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    for attr in ("open", "checkpoint", "compaction_hook", "save_to", "load_from"):
+        assert hasattr(DocDBClient, attr)
+        assert attr in text, f"STORAGE.md never mentions DocDBClient.{attr}"

@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.docdb.cache import QueryCache, freeze
-from repro.docdb.document import get_path, normalize_document
+from repro.docdb.document import get_path, json_deepcopy, normalize_document
 from repro.docdb.index import CompoundIndex, FieldIndex
 from repro.docdb.planner import (
     STAGE_COLLSCAN,
@@ -271,10 +271,10 @@ class Collection:
                 cached = self.cache.get(cache_key, epoch)
                 if cached is not None:
                     self.stats["cache_hits"] += 1
-                    return copy.deepcopy(cached)
+                    return json_deepcopy(cached)
                 self.stats["cache_misses"] += 1
             matched = self._execute_filter(flt)
-            out = [copy.deepcopy(d) for d in matched]
+            out = [json_deepcopy(d) for d in matched]
         if sort:
             out = _sorted_docs(out, sort)
         if skip:
@@ -286,7 +286,7 @@ class Collection:
         if cache_key is not None:
             with self._lock:
                 self.cache.put(cache_key, epoch, out)
-            return copy.deepcopy(out)
+            return json_deepcopy(out)
         return out
 
     def find_one(
@@ -609,7 +609,7 @@ class Collection:
                 cached = self.cache.get(cache_key, epoch)
                 if cached is not None:
                     self.stats["cache_hits"] += 1
-                    return copy.deepcopy(cached)
+                    return json_deepcopy(cached)
                 self.stats["cache_misses"] += 1
         match, rest = split_leading_match(pipeline)
         docs = self.find(match)
@@ -617,7 +617,7 @@ class Collection:
         if cache_key is not None:
             with self._lock:
                 self.cache.put(cache_key, epoch, out)
-            return copy.deepcopy(out)
+            return json_deepcopy(out)
         return out
 
     # -- misc -------------------------------------------------------------------------------------------
@@ -625,7 +625,7 @@ class Collection:
     def all_documents(self) -> List[Dict[str, Any]]:
         """Snapshot of every document (deep copies), in insertion order."""
         with self._lock:
-            return [copy.deepcopy(d) for d in self._docs.values()]
+            return [json_deepcopy(d) for d in self._docs.values()]
 
     def __len__(self) -> int:
         return len(self._docs)
@@ -673,7 +673,7 @@ def _project(doc: Dict[str, Any], projection: Dict[str, int]) -> Dict[str, Any]:
         for path in include:
             found, value = get_path(doc, path)
             if found:
-                out[path] = copy.deepcopy(value)
+                out[path] = json_deepcopy(value)
         if "_id" not in exclude and "_id" in doc:
             out["_id"] = doc["_id"]
         return out

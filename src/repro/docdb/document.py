@@ -36,10 +36,30 @@ def normalize_document(
     if not isinstance(doc, dict):
         raise ValidationError(f"document must be a dict, got {type(doc).__name__}")
     _check_value(doc, depth=0)
-    out = copy.deepcopy(doc) if deep_copy else doc
+    out = json_deepcopy(doc) if deep_copy else doc
     if ensure_id and "_id" not in out:
         out["_id"] = new_object_id()
     return out
+
+
+def json_deepcopy(value: Any) -> Any:
+    """Deep copy for JSON-shaped values, far cheaper than ``copy.deepcopy``.
+
+    Validated documents only ever contain dicts with string keys, lists,
+    tuples and immutable scalars (:func:`_check_value` enforces this on
+    the way in, and rejects cyclic structures via its depth limit), so
+    the generic deepcopy machinery — memo dict, reductor dispatch — is
+    pure overhead on the storage hot path.  Semantics match
+    ``copy.deepcopy`` for that value domain: containers are rebuilt,
+    immutable scalars returned as-is.
+    """
+    if isinstance(value, dict):
+        return {k: json_deepcopy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [json_deepcopy(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(json_deepcopy(v) for v in value)
+    return value
 
 
 def _check_value(value: Any, depth: int) -> None:

@@ -1,0 +1,133 @@
+"""The vectorized measurement fast path: whole echo series in O(links).
+
+The paper's test-suite is measurement-bound: every campaign iteration
+runs ``scion ping -c 30 --interval 0.1s`` plus four bwtest transfers
+over every retained path to 21 destinations (§3.3, §5.3).  The scalar
+data plane walks every :class:`~repro.netsim.network.LinkTraversal`
+once *per packet*, making scalar numpy RNG calls per link per direction
+— O(count × links) Python work.  :func:`probe_batch` computes the same
+series in O(links) numpy operations:
+
+* per-link static terms (propagation, serialization) are computed once;
+* cross-traffic utilization is gathered through
+  :meth:`~repro.netsim.procs.UtilizationProcess.values_at` (vectorized
+  over the shared AR(1) grid cache, so batch and scalar readers see the
+  exact same process values);
+* per-link jitter is one ``normal(size=count)`` vector and the drop
+  decision one vectorized Bernoulli per link/direction;
+* cumulative delays propagate by running vector sums, and a first-drop
+  mask guarantees a packet dropped at link *k* never contributes
+  downstream draws that change observable results (each step's draws
+  are fixed-size vectors, so a dropped packet keeps its lane without
+  perturbing any other packet's samples).
+
+Determinism contract (property-tested in
+``tests/test_netsim_fastpath.py``):
+
+* same seed ⇒ byte-identical series across runs and across 1-vs-8
+  parallel workers, in both batch and scalar modes;
+* batch and scalar modes agree statistically (matched mean RTT and loss
+  fraction on ≥1k-sample series) but **not** sample-for-sample — batch
+  draws consume the per-link RNG streams in vector-sized chunks;
+* ``NetworkConfig.scalar_fallback=True`` preserves the pre-batch
+  packet-at-a-time semantics byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.netsim.packet import PacketSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.network import LinkTraversal, NetworkSim
+
+
+@dataclass(frozen=True)
+class BatchEchoSeries:
+    """One vectorized echo series: per-packet send times and RTTs.
+
+    ``rtt_ms`` is aligned with ``send_times_s``; lost probes (dropped on
+    either direction, or slower than the SCMP deadline) hold ``NaN``.
+    """
+
+    send_times_s: "np.ndarray"
+    rtt_ms: "np.ndarray"
+
+    @property
+    def count(self) -> int:
+        return int(self.rtt_ms.size)
+
+    @property
+    def lost_mask(self) -> "np.ndarray":
+        return np.isnan(self.rtt_ms)
+
+    @property
+    def received(self) -> int:
+        return int(np.count_nonzero(~self.lost_mask))
+
+    def received_rtts(self) -> Tuple[float, ...]:
+        """Surviving RTTs in send order (the ``PingStats`` payload)."""
+        return tuple(float(r) for r in self.rtt_ms[~self.lost_mask])
+
+
+def roundtrip_steps(
+    traversals: Sequence["LinkTraversal"],
+) -> Tuple["LinkTraversal", ...]:
+    """Forward traversals followed by the reversed return path."""
+    back = [step.reversed() for step in reversed(traversals)]
+    return tuple(traversals) + tuple(back)
+
+
+def probe_batch(
+    network: "NetworkSim",
+    traversals: Sequence["LinkTraversal"],
+    packet: PacketSpec,
+    count: int,
+    interval_s: float,
+    t0_s: float,
+) -> BatchEchoSeries:
+    """Compute an entire SCMP echo series in O(links) numpy operations.
+
+    Packet *i* departs at ``t0_s + i * interval_s``; its arrival time at
+    each link is the send time plus the accumulated delay vector so far,
+    exactly mirroring the scalar walker's clock arithmetic.  Probes
+    slower than ``config.probe_timeout_s`` count as lost, like the real
+    ``scion ping`` deadline.
+    """
+    if not traversals:
+        raise ValidationError("empty path")
+    if count < 1:
+        raise ValidationError(f"echo count must be >= 1: {count}")
+    if interval_s <= 0:
+        raise ValidationError("echo interval must be positive")
+
+    send_times = t0_s + np.arange(count, dtype=np.float64) * interval_s
+    delay_ms = np.zeros(count, dtype=np.float64)
+    dropped = np.zeros(count, dtype=bool)
+
+    for step in roundtrip_steps(traversals):
+        state = network.link_state(step.link)
+        direction = state.direction_from(step.sender)
+        t = send_times + delay_ms / 1e3
+        step_ms, step_drop = state.transit_batch(
+            direction, packet.total_wire_bytes, packet.fragments, t
+        )
+        # First-drop masking: a packet dropped upstream keeps its lane
+        # (the per-step draws are fixed-size vectors) but its RTT is
+        # already unobservable, so downstream contributions only need to
+        # stay out of *other* packets' lanes — which vector ops give us
+        # for free.  Accumulate delay for all lanes; OR in new drops.
+        delay_ms = delay_ms + step_ms
+        dropped |= step_drop
+
+    rtt = np.where(dropped, np.nan, delay_ms)
+    rtt = np.where(rtt > network.config.probe_timeout_s * 1e3, np.nan, rtt)
+
+    network.counters.batch_series += 1
+    network.counters.batch_packets += count
+    return BatchEchoSeries(send_times_s=send_times, rtt_ms=rtt)

@@ -1,0 +1,58 @@
+"""Data-plane telemetry counters for the measurement fast path.
+
+One :class:`NetCounters` instance is shared by a :class:`~repro.netsim.
+network.NetworkSim` and every :class:`~repro.netsim.link.LinkState` it
+owns.  The counters are plain ints — the simulator is single-threaded
+per host (parallel campaigns give every destination its own seeded
+host), so no locking is needed — and every one of them is a pure
+function of ``(world, seed, campaign)``: the determinism suites compare
+snapshots byte-for-byte across worker counts.
+
+The canonical ``net_*`` metric names these map onto live in
+:mod:`repro.suite.metrics` (``_NET_STAT_NAMES``); the table in
+``docs/ARCHITECTURE.md`` is diff-tested against that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class NetCounters:
+    """Counters for probes, sampling caches and the flow ledger."""
+
+    __slots__ = (
+        "batch_series",
+        "batch_packets",
+        "scalar_fallback_series",
+        "scalar_probes",
+        "sampler_hits",
+        "sampler_misses",
+        "ledger_pruned_flows",
+    )
+
+    def __init__(self) -> None:
+        #: Echo series answered by the vectorized batch engine.
+        self.batch_series = 0
+        #: Echo packets computed inside those batch series.
+        self.batch_packets = 0
+        #: Echo series that took the scalar per-packet fallback
+        #: (``NetworkConfig.scalar_fallback=True``).
+        self.scalar_fallback_series = 0
+        #: Individual scalar round-trip probes (fallback series packets,
+        #: traceroute partial probes, direct ``probe_roundtrip`` calls).
+        self.scalar_probes = 0
+        #: Per-link sampling-cache hits ((direction, window) integrals).
+        self.sampler_hits = 0
+        #: Per-link sampling-cache misses (integral computed fresh).
+        self.sampler_misses = 0
+        #: Expired flow records dropped from the flow ledger.
+        self.ledger_pruned_flows = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stable-keyed plain dict (the ``--metrics`` wire format)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"NetCounters({inner})"

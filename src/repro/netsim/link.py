@@ -10,17 +10,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.netsim.config import NetworkConfig
 from repro.netsim.congestion import EpisodeSchedule
+from repro.netsim.counters import NetCounters
 from repro.netsim.procs import UtilizationProcess
 from repro.topology.entities import AutonomousSystem, LinkSpec
 from repro.topology.isd_as import ISDAS
 from repro.util.geo import propagation_delay_ms
 from repro.util.rng import RngStreams
+
+#: Cap on memoized (direction, window) integrals per link: campaigns
+#: revisit a handful of windows (overlapping multi-user transfers, the
+#: ledger's competing-load queries), so a small cache captures the reuse
+#: while keeping worst-case memory bounded on adversarial workloads.
+SAMPLING_CACHE_MAX_ENTRIES = 4096
 
 
 class LinkDirection(enum.Enum):
@@ -49,10 +56,18 @@ class LinkState:
         config: NetworkConfig,
         streams: RngStreams,
         episodes: EpisodeSchedule,
+        counters: Optional[NetCounters] = None,
     ) -> None:
         self.spec = spec
         self.config = config
         self.episodes = episodes
+        self.counters = counters if counters is not None else NetCounters()
+        #: (direction, t0, t1) -> (mean utilization, window episode loss,
+        #: window capacity factor), valid for one episode-schedule epoch.
+        self._window_cache: Dict[
+            Tuple["LinkDirection", float, float], Tuple[float, float, float]
+        ] = {}
+        self._window_cache_epoch = episodes.epoch
         self._a = a_sys
         self._b = b_sys
         self.propagation_ms = propagation_delay_ms(
@@ -69,6 +84,27 @@ class LinkState:
             ),
         }
         self._noise = streams.get(f"{key}:noise")
+        # Per-direction constants, resolved once: capacity, the receiving
+        # AS's jitter scale, the min of sender-send/receiver-recv pps
+        # budgets, and the residual loss floor.  All are immutable for
+        # the lifetime of the LinkState, and the transit/fluid hot paths
+        # re-read them for every traversal step of every measurement.
+        self._cap_bps = {
+            LinkDirection.A_TO_B: spec.capacity_ab_mbps * 1e6,
+            LinkDirection.B_TO_A: spec.capacity_ba_mbps * 1e6,
+        }
+        self._jitter_scale = {
+            d: config.jitter_for(self._receiver_sys(d).isd_as)
+            for d in LinkDirection
+        }
+        self._pps_budget = {
+            d: min(
+                config.pps_for(self._sender_sys(d).isd_as).send,
+                config.pps_for(self._receiver_sys(d).isd_as).recv,
+            )
+            for d in LinkDirection
+        }
+        self._base_loss = spec.base_loss + config.default_base_loss
 
     # -- direction helpers -----------------------------------------------------
 
@@ -130,7 +166,96 @@ class LinkState:
         delay_ms = self.propagation_ms + serialization_ms + queue_ms + jitter_ms
         return TransitSample(delay_ms=delay_ms, dropped=dropped)
 
+    # -- vectorized transit (the measurement fast path) -----------------------------
+
+    def transit_batch(
+        self,
+        direction: LinkDirection,
+        wire_bytes: int,
+        n_fragments: int,
+        t_array: "np.ndarray",
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Vectorized :meth:`transit_packet`: one echo series in one call.
+
+        ``t_array`` holds the per-packet arrival times at this link;
+        returns ``(delay_ms, dropped)`` arrays of the same shape.  The
+        static terms (propagation, serialization) are computed once,
+        utilization is gathered via :meth:`UtilizationProcess.values_at`,
+        per-packet jitter is one ``normal(size=n)`` vector and the drop
+        decision one vectorized Bernoulli — all against the same named
+        per-link RNG stream the scalar path uses, so a fixed sequence of
+        batch calls is seed-deterministic.  Batch draws consume the
+        stream differently from per-packet draws, which is why the
+        determinism contract is *per mode*: batch and scalar agree
+        statistically (property-tested), not sample-for-sample.
+        """
+        if isinstance(t_array, np.ndarray) and t_array.dtype == np.float64:
+            t = t_array
+        else:
+            t = np.asarray(t_array, dtype=np.float64)
+        n = t.size
+        cap = self._cap_bps[direction]
+        rho = self._util[direction].values_at(t)
+
+        serialization_ms = wire_bytes * 8.0 / cap * 1e3
+        queue_ms = self.config.queue_scale_ms * rho / np.maximum(1e-6, 1.0 - rho)
+        jitter_ms = np.abs(self._noise.normal(0.0, self._jitter_scale[direction], size=n))
+
+        base = self._base_loss
+        if len(self.episodes):
+            extra_loss, cap_factor = self.episodes.disturbance_at(self.spec, t)
+            per_fragment_survive = (1.0 - base) * (1.0 - extra_loss)
+            per_fragment_survive = np.where(
+                (cap_factor <= 0.0) & (extra_loss >= 1.0),
+                0.0,
+                per_fragment_survive,
+            )
+        else:
+            # Empty schedule fast path: extra_loss is identically 0 and
+            # cap_factor 1, so ``per_fragment_survive`` collapses to the
+            # scalar ``(1 - base) * (1 - 0)`` — bit-identical to the
+            # array expression, minus three array temporaries per step.
+            per_fragment_survive = (1.0 - base) * 1.0
+        survive = per_fragment_survive ** max(1, n_fragments)
+        dropped = self._noise.random(size=n) > survive
+
+        delay_ms = self.propagation_ms + serialization_ms + queue_ms + jitter_ms
+        return delay_ms, dropped
+
     # -- fluid-transfer accounting --------------------------------------------------
+
+    def window_sample(
+        self, direction: LinkDirection, t0_s: float, t1_s: float
+    ) -> Tuple[float, float, float]:
+        """Memoized ``(mean utilization, episode loss, capacity factor)``.
+
+        The sampling cache behind fluid transfers: the window integrals
+        (:meth:`mean_utilization` + :meth:`EpisodeSchedule.
+        window_disturbance`) are pure given the episode schedule, so
+        results are keyed on ``(direction, t0, t1)`` and invalidated
+        wholesale whenever :attr:`EpisodeSchedule.epoch` moves — i.e.
+        when an episode is added or the monitor blackholes a link after
+        a revocation.  Failover correctness is therefore untouched: no
+        pre-episode answer survives the bump.
+        """
+        if self._window_cache_epoch != self.episodes.epoch:
+            self._window_cache.clear()
+            self._window_cache_epoch = self.episodes.epoch
+        key = (direction, t0_s, t1_s)
+        cached = self._window_cache.get(key)
+        if cached is not None:
+            self.counters.sampler_hits += 1
+            return cached
+        self.counters.sampler_misses += 1
+        rho = self.mean_utilization(direction, t0_s, t1_s)
+        ep_loss, cap_factor = self.episodes.window_disturbance(
+            self.spec, t0_s, t1_s
+        )
+        if len(self._window_cache) >= SAMPLING_CACHE_MAX_ENTRIES:
+            self._window_cache.clear()  # rare; keeps memory bounded
+        result = (rho, ep_loss, cap_factor)
+        self._window_cache[key] = result
+        return result
 
     def fluid_share(
         self,
@@ -150,22 +275,18 @@ class LinkState:
         foreground flows; ``pps_accept_ratio`` compares offered packets/s
         against the *sending* router's pps budget.
         """
-        rho = self.mean_utilization(direction, t0_s, t1_s)
-        ep_loss, cap_factor = self.episodes.window_disturbance(
-            self.spec, t0_s, t1_s
-        )
-        capacity = self.capacity_bps(direction)
+        rho, ep_loss, cap_factor = self.window_sample(direction, t0_s, t1_s)
+        capacity = self._cap_bps[direction]
         available = max(0.0, capacity * (1.0 - rho) - competing_bps)
         if ep_loss > 0.0:
             available = available * (1.0 - ep_loss) * max(cap_factor, 0.0) + 1e-9
 
         byte_ratio = min(1.0, available / max(offered_bps, 1e-9))
 
-        pps_budget = self.config.pps_for(self._sender_sys(direction).isd_as).send
-        recv_budget = self.config.pps_for(self._receiver_sys(direction).isd_as).recv
+        # min(send, recv) / offered == min(send/offered, recv/offered)
+        # exactly (IEEE division is monotone for a positive divisor), so
+        # the budget min is folded into a per-direction constant.
         pps_ratio = min(
-            1.0,
-            pps_budget / max(offered_pps, 1e-9),
-            recv_budget / max(offered_pps, 1e-9),
+            1.0, self._pps_budget[direction] / max(offered_pps, 1e-9)
         )
         return byte_ratio, pps_ratio

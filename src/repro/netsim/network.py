@@ -17,12 +17,15 @@ from repro.errors import TopologyError, ValidationError
 from repro.netsim.clock import SimClock
 from repro.netsim.config import NetworkConfig
 from repro.netsim.congestion import CongestionEpisode, EpisodeSchedule
+from repro.netsim.counters import NetCounters
 from repro.netsim.link import LinkState, TransitSample
 from repro.netsim.packet import PacketSpec
 from repro.topology.entities import LinkSpec
 from repro.topology.graph import Topology
 from repro.topology.isd_as import ISDAS
 from repro.util.rng import RngStreams
+
+from repro.netsim import batch
 
 
 @dataclass(frozen=True)
@@ -79,19 +82,53 @@ class FlowLedger:
     serves many users whose transfers overlap.  Registered flows reduce
     the capacity the fluid model hands to later overlapping transfers —
     same-link, same-direction, time-weighted.
+
+    Flows are indexed by ``(link_key, direction)``, so the competing-load
+    query touches only the flows that could possibly overlap — O(flows
+    on this link direction) instead of O(all flows ever registered) —
+    and :meth:`prune` drops records whose window already closed
+    (``t1_s < now``).  :meth:`~NetworkSim.fluid_transfer` prunes on
+    every call, which keeps the ledger bounded by the number of
+    *concurrently open* transfers over a long monitoring run instead of
+    growing without bound under ``register_flow=True``.
     """
 
-    def __init__(self) -> None:
-        self._flows: List[FlowRecord] = []
+    def __init__(self, counters: Optional[NetCounters] = None) -> None:
+        self._by_key: Dict[
+            Tuple[Tuple[str, int, str, int], "LinkDirection"], List[FlowRecord]
+        ] = {}
+        self._count = 0
+        self._counters = counters if counters is not None else NetCounters()
 
     def register(self, record: FlowRecord) -> None:
-        self._flows.append(record)
+        self._by_key.setdefault((record.link_key, record.direction), []).append(
+            record
+        )
+        self._count += 1
 
     def clear(self) -> None:
-        self._flows.clear()
+        self._by_key.clear()
+        self._count = 0
 
     def __len__(self) -> int:
-        return len(self._flows)
+        return self._count
+
+    def prune(self, now_s: float) -> int:
+        """Drop flows whose window closed before ``now_s``; return count."""
+        removed = 0
+        dead_keys = []
+        for key, bucket in self._by_key.items():
+            kept = [flow for flow in bucket if flow.t1_s >= now_s]
+            removed += len(bucket) - len(kept)
+            if kept:
+                self._by_key[key] = kept
+            else:
+                dead_keys.append(key)
+        for key in dead_keys:
+            del self._by_key[key]
+        self._count -= removed
+        self._counters.ledger_pruned_flows += removed
+        return removed
 
     def concurrent_load_bps(
         self,
@@ -105,9 +142,7 @@ class FlowLedger:
             return 0.0
         window = t1_s - t0_s
         total = 0.0
-        for flow in self._flows:
-            if flow.link_key != link_key or flow.direction is not direction:
-                continue
+        for flow in self._by_key.get((link_key, direction), ()):
             overlap = min(t1_s, flow.t1_s) - max(t0_s, flow.t0_s)
             if overlap > 0:
                 total += flow.wire_bps * overlap / window
@@ -156,7 +191,8 @@ class NetworkSim:
         self.clock = clock or SimClock()
         self.episodes = EpisodeSchedule()
         self.servers = ServerDirectory()
-        self.flows = FlowLedger()
+        self.counters = NetCounters()
+        self.flows = FlowLedger(self.counters)
         self._streams = RngStreams(self.config.seed)
         self._links: Dict[Tuple[str, int, str, int], LinkState] = {}
         for spec in topology.links():
@@ -167,6 +203,7 @@ class NetworkSim:
                 self.config,
                 self._streams,
                 self.episodes,
+                self.counters,
             )
 
     # -- episode management ----------------------------------------------------
@@ -218,6 +255,7 @@ class NetworkSim:
         like the real ``scion ping``'s deadline.
         """
         t = self.clock.now_s if t_s is None else t_s
+        self.counters.scalar_probes += 1
         fwd = self.oneway_transit(traversals, packet, t)
         if fwd.dropped:
             return ProbeResult(rtt_ms=None)
@@ -238,10 +276,50 @@ class NetworkSim:
         t_s: Optional[float] = None,
     ) -> ProbeResult:
         """Round-trip to the router after the first ``upto`` traversals
-        (the primitive behind ``scion traceroute``)."""
+        (the primitive behind ``scion traceroute``).
+
+        **Stream semantics (intentional, pinned by a seeded golden
+        test):** the partial probe reuses :meth:`probe_roundtrip` on the
+        truncated traversal list, so every ``upto`` value draws jitter
+        and drop decisions from the *same sequential per-link streams*
+        the full-path probes use.  Consecutive partial probes at
+        different depths therefore consume each shared link's stream in
+        interleaved order — probe(upto=2) advances link 1's stream past
+        what probe(upto=1) saw.  That interleaving is part of the
+        deterministic contract (``tests/test_netsim_fastpath.py``
+        pins a seeded traceroute byte-for-byte) and is why traceroute
+        stays on the scalar walker: routing partial probes through the
+        batch engine would re-chunk those shared streams and silently
+        change every ``upto`` series.  Batch-mode traceroute needs its
+        own stream keying first.
+        """
         if not (1 <= upto <= len(traversals)):
             raise ValidationError(f"upto out of range: {upto}")
         return self.probe_roundtrip(traversals[:upto], packet, t_s)
+
+    # -- batched probing (the measurement fast path) ----------------------------
+
+    def probe_batch(
+        self,
+        traversals: Sequence[LinkTraversal],
+        packet: PacketSpec,
+        count: int,
+        interval_s: float,
+        t0_s: Optional[float] = None,
+    ) -> "batch.BatchEchoSeries":
+        """Whole echo series in O(links) numpy ops (see :mod:`.batch`).
+
+        Packet *i* of ``count`` departs at ``t0_s + i * interval_s``
+        (``t0_s`` defaults to the simulation clock); per-link jitter and
+        drop decisions are drawn as one vector per link/direction from
+        the same named RNG streams the scalar walker uses.  Same seed ⇒
+        byte-identical series; batch-vs-scalar agreement is statistical,
+        not sample-for-sample (see the module docstring's determinism
+        contract).  Does **not** advance the clock — callers advance it
+        by ``count * interval_s``, like the scalar echo loop.
+        """
+        t0 = self.clock.now_s if t0_s is None else t0_s
+        return batch.probe_batch(self, traversals, packet, count, interval_s, t0)
 
     # -- fluid transfers -------------------------------------------------------------
 
@@ -273,6 +351,11 @@ class NetworkSim:
             raise ValidationError("empty path")
         t0 = self.clock.now_s if t_s is None else t_s
         t1 = t0 + duration_s
+        # Time-based ledger hygiene: flows whose window closed before this
+        # transfer starts can never overlap it (or anything later on the
+        # monotonic clock), so drop them here — the ledger stays bounded
+        # by the number of concurrently open transfers.
+        self.flows.prune(t0)
 
         pps = target_bps / (8.0 * packet.payload_bytes)
         survival = 1.0

@@ -88,18 +88,36 @@ class PacketSpec:
     n_segments: int = 2
     underlay_mtu: int = DEFAULT_UNDERLAY_MTU
 
+    # The three wire-arithmetic properties are memoized on the (frozen)
+    # instance: the data plane re-reads them for every traversal step,
+    # and the integers can never go stale.
+
     @property
     def wire_bytes(self) -> int:
-        return wire_size_bytes(self.payload_bytes, self.n_hops, self.n_segments)
+        cached = self.__dict__.get("_wire_memo")
+        if cached is None:
+            cached = wire_size_bytes(
+                self.payload_bytes, self.n_hops, self.n_segments
+            )
+            object.__setattr__(self, "_wire_memo", cached)
+        return cached
 
     @property
     def fragments(self) -> int:
-        return fragment_count(self.wire_bytes, self.underlay_mtu)
+        cached = self.__dict__.get("_fragments_memo")
+        if cached is None:
+            cached = fragment_count(self.wire_bytes, self.underlay_mtu)
+            object.__setattr__(self, "_fragments_memo", cached)
+        return cached
 
     @property
     def total_wire_bytes(self) -> int:
         """Wire bytes including repeated fragment headers."""
-        return self.wire_bytes + (self.fragments - 1) * FRAGMENT_HEADER_BYTES
+        cached = self.__dict__.get("_total_wire_memo")
+        if cached is None:
+            cached = self.wire_bytes + (self.fragments - 1) * FRAGMENT_HEADER_BYTES
+            object.__setattr__(self, "_total_wire_memo", cached)
+        return cached
 
     @property
     def goodput_fraction(self) -> float:

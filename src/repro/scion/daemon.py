@@ -34,6 +34,11 @@ class Sciond:
         self.local_ia = ISDAS.parse(local_ia)
         self.beaconer = beaconer or Beaconer(topology)
         self._cache: Dict[ISDAS, List[Path]] = {}
+        #: Per-destination ``sequence -> Path`` index, built lazily on the
+        #: first :meth:`path_by_sequence` lookup and invalidated together
+        #: with the path cache (``flush``/``refresh``) so it can never
+        #: serve paths the cache no longer holds.
+        self._seq_index: Dict[ISDAS, Dict[str, Path]] = {}
         self.lookups = 0
         self.cache_hits = 0
 
@@ -56,6 +61,9 @@ class Sciond:
         if cached is None:
             cached = combine_paths(self.beaconer, self.local_ia, dst, max_paths=None)
             self._cache[dst] = cached
+            # Recombination replaces the path set; the sequence index for
+            # this destination is stale until rebuilt on next use.
+            self._seq_index.pop(dst, None)
         else:
             self.cache_hits += 1
         if max_paths is None:
@@ -65,12 +73,26 @@ class Sciond:
     def flush(self) -> None:
         """Drop the path cache (and segment caches)."""
         self._cache.clear()
+        self._seq_index.clear()
         self.beaconer.invalidate()
 
     def path_by_sequence(self, dst: "ISDAS | str", sequence: str) -> Optional[Path]:
-        """Find the cached path whose predicate sequence matches exactly."""
+        """Find the cached path whose predicate sequence matches exactly.
+
+        O(1) after the first lookup per destination: a ``sequence →
+        Path`` dict is built once from the cached path set (instead of
+        re-rendering every path's predicate string per call — the old
+        linear scan made the campaign's per-measurement path resolution
+        O(paths × hops)).  The index is dropped whenever the underlying
+        cache recombines (``refresh=True``) or is flushed.
+        """
+        dst = ISDAS.parse(dst)
         normalized = " ".join(sequence.split())
-        for path in self.paths(dst, max_paths=None):
-            if path.sequence() == normalized:
-                return path
-        return None
+        index = self._seq_index.get(dst)
+        if index is None or dst not in self._cache:
+            # paths() may recombine (first use), which pops any stale
+            # index for dst; build the fresh one afterwards.
+            paths = self.paths(dst, max_paths=None)
+            index = {p.sequence(): p for p in paths}
+            self._seq_index[dst] = index
+        return index.get(normalized)

@@ -8,6 +8,7 @@ at each.  Hop count (number of ASes) is the paper's ranking metric.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
@@ -101,8 +102,21 @@ class Path:
     # -- data-plane resolution -------------------------------------------------------
 
     def traversals(self, topology: Topology) -> List[LinkTraversal]:
-        """Resolve the hop sequence into concrete link traversals."""
-        steps: List[LinkTraversal] = []
+        """Resolve the hop sequence into concrete link traversals.
+
+        Memoized per ``(topology, topology.epoch)``: the same ``Path``
+        object is resolved on every ping/bwtest of a campaign, so the
+        link lookups run once and every later call is a list copy.  The
+        cache rides the path instance (a weak topology reference plus
+        the topology's mutation epoch), so a different or rebuilt
+        topology re-resolves from scratch.
+        """
+        cached = self.__dict__.get("_traversal_memo")
+        if cached is not None:
+            topo_ref, epoch, steps = cached
+            if topo_ref() is topology and epoch == topology.epoch:
+                return list(steps)
+        steps = []
         for hop, nxt in zip(self.hops, self.hops[1:]):
             if hop.egress is None or nxt.ingress is None:
                 raise TopologyError(f"unresolvable hop pair {hop} -> {nxt}")
@@ -112,6 +126,11 @@ class Path:
                     f"egress {hop.isd_as}#{hop.egress} does not lead to {nxt.isd_as}"
                 )
             steps.append(LinkTraversal(link=link, sender=hop.isd_as))
+        object.__setattr__(
+            self,
+            "_traversal_memo",
+            (weakref.ref(topology), topology.epoch, tuple(steps)),
+        )
         return steps
 
     def static_latency_ms(self, topology: Topology) -> float:

@@ -91,6 +91,13 @@ class ScmpService:
 
         Matches the paper's measurement command: 30 probes at 0.1 s
         intervals (§5.3).
+
+        The series is computed by the vectorized batch engine
+        (:meth:`~repro.netsim.network.NetworkSim.probe_batch`) by
+        default; ``NetworkConfig.scalar_fallback=True`` restores the
+        packet-at-a-time walker with its pre-batch RNG draw order.
+        Either way the clock advances by ``count * interval_s`` and
+        probe *i* departs at ``t0 + i * interval_s``.
         """
         if count < 1:
             raise ValidationError(f"echo count must be >= 1: {count}")
@@ -106,8 +113,21 @@ class ScmpService:
         server_up = (
             self.network.servers.health(path.dst, dst_ip) is not ServerHealth.DOWN
         )
-        rtts: List[float] = []
         clock = self.network.clock
+        if server_up and not self.network.config.scalar_fallback:
+            series = self.network.probe_batch(
+                traversals, packet, count, interval_s, clock.now_s
+            )
+            clock.advance(count * interval_s)
+            return EchoStats(
+                destination=path.dst.address(dst_ip),
+                sent=count,
+                received=series.received,
+                rtts_ms=series.received_rtts(),
+            )
+        if server_up:
+            self.network.counters.scalar_fallback_series += 1
+        rtts: List[float] = []
         for _ in range(count):
             if server_up:
                 result = self.network.probe_roundtrip(traversals, packet)

@@ -103,6 +103,29 @@ _DB_STAT_NAMES = {
     "cache_misses": DB_CACHE_MISSES,
 }
 
+# Simulated data-plane counters (folded from ``NetworkSim.counters`` by
+# :func:`network_stats_snapshot`).  Every value is a pure function of
+# ``(world, seed, campaign)`` — see docs/ARCHITECTURE.md, "Measurement
+# fast path", whose metric table is diff-tested against this mapping.
+NET_BATCH_SERIES = "net_batch_probe_series"
+NET_BATCH_PACKETS = "net_batch_packets"
+NET_SCALAR_FALLBACKS = "net_scalar_fallback_series"
+NET_SCALAR_PROBES = "net_scalar_probes"
+NET_SAMPLER_HITS = "net_sampler_cache_hits"
+NET_SAMPLER_MISSES = "net_sampler_cache_misses"
+NET_LEDGER_PRUNED = "net_ledger_pruned_flows"
+
+#: ``NetCounters`` slot -> canonical instrument name.
+_NET_STAT_NAMES = {
+    "batch_series": NET_BATCH_SERIES,
+    "batch_packets": NET_BATCH_PACKETS,
+    "scalar_fallback_series": NET_SCALAR_FALLBACKS,
+    "scalar_probes": NET_SCALAR_PROBES,
+    "sampler_hits": NET_SAMPLER_HITS,
+    "sampler_misses": NET_SAMPLER_MISSES,
+    "ledger_pruned_flows": NET_LEDGER_PRUNED,
+}
+
 
 class MetricsRegistry:
     """Thread-safe counters + histograms, snapshotted as a plain dict."""
@@ -226,6 +249,26 @@ def database_stats_snapshot(db: Any) -> Dict[str, Any]:
     }
 
 
+def network_stats_snapshot(network: Any) -> Dict[str, Any]:
+    """Fold a :class:`~repro.netsim.network.NetworkSim`'s data-plane
+    counters into a metrics-shaped snapshot.
+
+    Returns the canonical ``net_*`` instrument names; every counter is
+    deterministic per ``(world, seed, campaign)``, so the fold keeps the
+    1-vs-N-worker determinism suites byte-identical.
+    """
+    raw = network.counters.snapshot() if hasattr(network, "counters") else {}
+    counters: Dict[str, float] = {}
+    for stat_key, canonical in _NET_STAT_NAMES.items():
+        if stat_key in raw:
+            counters[canonical] = float(raw[stat_key])
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {},
+    }
+
+
 def wal_stats_snapshot(client: Any) -> Dict[str, Any]:
     """Fold a durable client's WAL counters into a metrics snapshot.
 
@@ -331,6 +374,24 @@ def format_metrics(snapshot: Optional[Dict[str, Any]], *, indent: str = "  ") ->
         if mttr and mttr["count"]:
             line += f", MTTR {mttr['total'] / mttr['count']:.1f} sim s"
         lines.append(line)
+    batch_series = counter_value(snapshot, NET_BATCH_SERIES)
+    batch_packets = counter_value(snapshot, NET_BATCH_PACKETS)
+    scalar_series = counter_value(snapshot, NET_SCALAR_FALLBACKS)
+    scalar_probes = counter_value(snapshot, NET_SCALAR_PROBES)
+    if batch_series or scalar_series or scalar_probes:
+        lines.append(
+            f"{indent}data plane: {batch_series:g} batch series "
+            f"({batch_packets:g} packets), {scalar_series:g} scalar "
+            f"fallback series, {scalar_probes:g} scalar probes"
+        )
+        sampler_h = counter_value(snapshot, NET_SAMPLER_HITS)
+        sampler_m = counter_value(snapshot, NET_SAMPLER_MISSES)
+        pruned = counter_value(snapshot, NET_LEDGER_PRUNED)
+        if sampler_h or sampler_m or pruned:
+            lines.append(
+                f"{indent}data plane: sampler cache {sampler_h:g} hits / "
+                f"{sampler_m:g} misses, {pruned:g} ledger flows pruned"
+            )
     wall = histogram_stats(snapshot, DEST_WALL_S)
     sim = histogram_stats(snapshot, DEST_SIM_S)
     if wall and sim and wall["count"]:

@@ -177,7 +177,14 @@ class TestRunner:
         # written inside the loop, so deriving the count from it reported
         # stale numbers for 0-iteration campaigns.
         report.destinations_tested = len(destinations) * iterations
-        report.metrics = self.metrics.snapshot()
+        # Fold the host's data-plane counters (batch probes, sampler
+        # cache, ledger prunes) into the campaign snapshot.  Both sides
+        # are deterministic per (world, seed, campaign) and the merge is
+        # commutative, so parallel per-destination reports stay
+        # byte-identical across worker counts.
+        report.metrics = m.merge_snapshots(
+            [self.metrics.snapshot(), m.network_stats_snapshot(self.host.network)]
+        )
         return report
 
     def _run_destination(

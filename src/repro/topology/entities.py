@@ -146,8 +146,17 @@ class LinkSpec:
         return self.capacity_ab_mbps if side == self.a else self.capacity_ba_mbps
 
     def key(self) -> Tuple[str, int, str, int]:
-        """A stable hashable identity for the link."""
-        return (str(self.a), self.a_ifid, str(self.b), self.b_ifid)
+        """A stable hashable identity for the link.
+
+        Memoized on the (frozen) instance: the simulator keys its
+        link-state and flow-ledger lookups on this tuple once per
+        traversal step on the measurement hot path.
+        """
+        cached = self.__dict__.get("_key_memo")
+        if cached is None:
+            cached = (str(self.a), self.a_ifid, str(self.b), self.b_ifid)
+            object.__setattr__(self, "_key_memo", cached)
+        return cached
 
     def __str__(self) -> str:
         arrow = {"core": "=", "parent": ">", "peer": "~"}[self.kind.value]

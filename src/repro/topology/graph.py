@@ -45,6 +45,11 @@ class Topology:
         self._adjacent: Dict[ISDAS, List[LinkSpec]] = defaultdict(list)
         for link in links:
             self._add_link(link)
+        #: Mutation counter consulted by path-resolution caches.  The
+        #: topology is immutable after build today, so this stays 0; any
+        #: future mutating API must bump it so memoized
+        #: :meth:`repro.scion.path.Path.traversals` results invalidate.
+        self._epoch = 0
 
         if validate:
             self._validate()
@@ -110,6 +115,11 @@ class Topology:
         return False
 
     # -- lookups --------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter for dependent caches (0 while immutable)."""
+        return self._epoch
 
     def as_of(self, ia: "ISDAS | str") -> AutonomousSystem:
         ia = ISDAS.parse(ia)

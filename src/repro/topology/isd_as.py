@@ -76,13 +76,31 @@ class ISDAS:
         return f"{hi:x}:{mid:x}:{lo:x}"
 
     def __str__(self) -> str:
-        return f"{self.isd}-{self.as_str}"
+        # Memoized on the (frozen) instance: rendered constantly by link
+        # keys, RNG stream names and document fields on the measurement
+        # hot path, and the value can never go stale.
+        cached = self.__dict__.get("_str_memo")
+        if cached is None:
+            cached = f"{self.isd}-{self.as_str}"
+            object.__setattr__(self, "_str_memo", cached)
+        return cached
 
     def address(self, ip: str) -> str:
         """Full host address string, as printed by ``scion address``."""
         return f"{self},[{ip}]"
 
     # -- ordering ------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        # Same value the generated frozen-dataclass hash produces
+        # (``hash((isd, asn))``), memoized: jitter/pps config lookups
+        # hash ISDAS keys on every traversal step, and building the
+        # field tuple per call shows up in campaign profiles.
+        cached = self.__dict__.get("_hash_memo")
+        if cached is None:
+            cached = hash((self.isd, self.asn))
+            object.__setattr__(self, "_hash_memo", cached)
+        return cached
 
     def __lt__(self, other: "ISDAS") -> bool:
         if not isinstance(other, ISDAS):

@@ -153,3 +153,28 @@ def test_storage_md_example_is_consistent():
     for attr in ("open", "checkpoint", "compaction_hook", "save_to", "load_from"):
         assert hasattr(DocDBClient, attr)
         assert attr in text, f"STORAGE.md never mentions DocDBClient.{attr}"
+
+
+def test_architecture_md_net_counter_table_matches_metrics():
+    """The fast-path counter table must cover the NET_* names exactly.
+
+    A diff test, not a subset test: documenting a counter that no
+    longer exists is as wrong as shipping an undocumented one.
+    """
+    import re
+
+    from repro.suite.metrics import _NET_STAT_NAMES
+
+    with open(
+        os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md"), encoding="utf-8"
+    ) as fh:
+        text = fh.read()
+    section = text.split("## Measurement fast path", 1)[1]
+    section = section.split("\n## ", 1)[0]
+    documented = set(re.findall(r"^\| `([a-z_]+)` \|", section, re.M))
+    canonical = set(_NET_STAT_NAMES.values())
+    assert documented == canonical, (
+        f"docs/ARCHITECTURE.md net counter table out of sync: "
+        f"undocumented={sorted(canonical - documented)} "
+        f"stale={sorted(documented - canonical)}"
+    )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI gate for the measurement fast path's speedup table.
+
+Parses ``benchmarks/output/netsim_fastpath.txt`` (written by
+``benchmarks/bench_netsim_fastpath.py``) and fails when the vectorized
+batch engine stops paying for itself:
+
+* every microbenchmark row must show >= ``--min-micro`` (default 10x),
+* the end-to-end campaign must show >= ``--min-campaign`` (default 3x).
+
+Usage::
+
+    python benchmarks/bench_netsim_fastpath.py --smoke
+    python tools/check_fastpath_speedup.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Tuple
+
+DEFAULT_TABLE = "benchmarks/output/netsim_fastpath.txt"
+
+_ROW_RE = re.compile(r"^\s+\d+\s+\d+\s+[\d.]+\s+[\d.]+\s+([\d.]+)x\s*$")
+_CAMPAIGN_RE = re.compile(r"campaign speedup:\s*([\d.]+)x")
+
+
+def parse_speedups(text: str) -> Tuple[List[float], float]:
+    """(microbench speedups, campaign speedup) from the table text."""
+    micro = [
+        float(match.group(1))
+        for line in text.splitlines()
+        if (match := _ROW_RE.match(line))
+    ]
+    campaign_match = _CAMPAIGN_RE.search(text)
+    if not micro:
+        raise ValueError("no microbenchmark rows found in table")
+    if campaign_match is None:
+        raise ValueError("no campaign speedup line found in table")
+    return micro, float(campaign_match.group(1))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("table", nargs="?", default=DEFAULT_TABLE)
+    parser.add_argument("--min-micro", type=float, default=10.0)
+    parser.add_argument("--min-campaign", type=float, default=3.0)
+    args = parser.parse_args()
+
+    try:
+        with open(args.table, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"FAIL: cannot read {args.table}: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        micro, campaign = parse_speedups(text)
+    except ValueError as exc:
+        print(f"FAIL: malformed table: {exc}", file=sys.stderr)
+        return 1
+
+    ok = True
+    worst = min(micro)
+    if worst < args.min_micro:
+        print(
+            f"FAIL: microbenchmark speedup {worst:.1f}x below the "
+            f"{args.min_micro:.0f}x floor",
+            file=sys.stderr,
+        )
+        ok = False
+    if campaign < args.min_campaign:
+        print(
+            f"FAIL: campaign speedup {campaign:.1f}x below the "
+            f"{args.min_campaign:.0f}x floor",
+            file=sys.stderr,
+        )
+        ok = False
+    if ok:
+        print(
+            f"fast path OK: microbench {worst:.1f}x (worst row), "
+            f"campaign {campaign:.1f}x"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
